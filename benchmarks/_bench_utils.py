@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark modules (not a test file)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+
+#: Parameter-space resolution every benchmark runs at.
+BENCH_RESOLUTION = 8
+
+#: Per-mode target rank every benchmark runs at.
+BENCH_RANK = 3
+
+#: RNG seed for all benchmark sampling.
+BENCH_SEED = 7
+
+
+def print_report(title, headers, rows):
+    """Render a table into the captured benchmark output (-s shows it)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,108 @@
+"""Ablation (ours): ROW_SELECT's row-energy metric.
+
+Algorithm 5 compares "the energies (captured by the 2-norm function)
+of each row" of the two pivot factor matrices.  Two readings exist:
+
+* plain ``U`` row norms — leverage scores of the orthonormal factors;
+* ``U @ diag(sigma)`` row norms — each entity's actual spectral energy
+  in its sub-ensemble (the reading this library uses).
+
+This bench quantifies the difference by fitting the join tensor with
+each metric's selected factor.  The spectral reading consistently fits
+as well or better — with the plain reading SELECT can fall below AVG,
+which is how the ambiguity was diagnosed (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from _bench_utils import BENCH_RANK, BENCH_SEED, print_report
+from repro.core.join_tensor import dense_join_from_subs
+from repro.core.row_select import align_columns
+from repro.sampling import budget_for_fractions
+from repro.tensor import (
+    leading_left_singular_vectors,
+    multi_ttm,
+    truncated_svd,
+    unfold,
+)
+
+RANK = BENCH_RANK
+
+
+def _setup(study):
+    partition = study.default_partition()
+    budget = budget_for_fractions(partition, 1.0, 1.0)
+    x1, x2, _cells, _runs = study.sample_sub_ensembles(
+        partition, budget, seed=BENCH_SEED
+    )
+    x1d, x2d = x1.to_dense(), x2.to_dense()
+    joined = dense_join_from_subs(x1d, x2d, partition)
+    free_factors = [
+        leading_left_singular_vectors(unfold(x1d, axis), RANK)
+        for axis in (1, 2)
+    ] + [
+        leading_left_singular_vectors(unfold(x2d, axis), RANK)
+        for axis in (1, 2)
+    ]
+    u1, s1, _ = truncated_svd(unfold(x1d, 0), RANK)
+    u2, s2, _ = truncated_svd(unfold(x2d, 0), RANK)
+    u2 = align_columns(u1, u2)
+    return joined, free_factors, u1, s1, u2, s2
+
+
+def _fit(joined, pivot_factor, free_factors):
+    factors = [pivot_factor] + free_factors
+    core = multi_ttm(joined, factors, transpose=True)
+    reconstruction = multi_ttm(core, factors)
+    return 1 - np.linalg.norm(reconstruction - joined) / np.linalg.norm(joined)
+
+
+def _select(u1, u2, e1, e2):
+    return np.where((e1 >= e2)[:, None], u1, u2)
+
+
+def test_plain_u_energy(benchmark, pendulum_study):
+    joined, free_factors, u1, _s1, u2, _s2 = _setup(pendulum_study)
+    e1 = np.linalg.norm(u1, axis=1)
+    e2 = np.linalg.norm(u2, axis=1)
+    fit = benchmark(
+        lambda: _fit(joined, _select(u1, u2, e1, e2), free_factors)
+    )
+    assert fit > 0
+
+
+def test_spectral_energy(benchmark, pendulum_study):
+    joined, free_factors, u1, s1, u2, s2 = _setup(pendulum_study)
+    e1 = np.linalg.norm(u1 * s1[None, :], axis=1)
+    e2 = np.linalg.norm(u2 * s2[None, :], axis=1)
+    fit = benchmark(
+        lambda: _fit(joined, _select(u1, u2, e1, e2), free_factors)
+    )
+    assert fit > 0
+
+
+def test_energy_metric_summary(pendulum_study):
+    joined, free_factors, u1, s1, u2, s2 = _setup(pendulum_study)
+    plain_fit = _fit(
+        joined,
+        _select(
+            u1, u2, np.linalg.norm(u1, axis=1), np.linalg.norm(u2, axis=1)
+        ),
+        free_factors,
+    )
+    spectral_fit = _fit(
+        joined,
+        _select(
+            u1,
+            u2,
+            np.linalg.norm(u1 * s1[None, :], axis=1),
+            np.linalg.norm(u2 * s2[None, :], axis=1),
+        ),
+        free_factors,
+    )
+    print_report(
+        "ROW_SELECT energy metric (fit against the join tensor)",
+        ["metric", "fit"],
+        [["plain U", float(plain_fit)], ["U*sigma", float(spectral_fit)]],
+    )
+    assert spectral_fit >= plain_fit - 1e-9

@@ -1,0 +1,62 @@
+"""Extension bench: partition depth (two-way vs four-way multiway)."""
+
+import pytest
+
+from _bench_utils import BENCH_RANK, BENCH_SEED, print_report
+from repro.core.multiway import MWPartition, multiway_study
+from repro.sampling import RandomSampler
+
+RANKS = [BENCH_RANK] * 5
+
+
+@pytest.mark.parametrize(
+    "groups,label",
+    [
+        ((("phi1", "m1"), ("phi2", "m2")), "m2"),
+        (None, "m4"),
+    ],
+    ids=["two-way", "four-way"],
+)
+def test_multiway_depth(benchmark, pendulum_study, groups, label):
+    partition = MWPartition.for_space(
+        pendulum_study.space, pivot="t", groups=groups
+    )
+    result, cells = benchmark(
+        lambda: multiway_study(
+            pendulum_study.truth, partition, RANKS, variant="select"
+        )
+    )
+    assert result.accuracy(pendulum_study.truth) > 0
+
+
+def test_depth_summary(pendulum_study):
+    rows = []
+    for groups, m in (
+        ((("phi1", "m1"), ("phi2", "m2")), 2),
+        (None, 4),
+    ):
+        partition = MWPartition.for_space(
+            pendulum_study.space, pivot="t", groups=groups
+        )
+        result, cells = multiway_study(
+            pendulum_study.truth, partition, RANKS, variant="select"
+        )
+        baseline = pendulum_study.run_conventional(
+            RandomSampler(BENCH_SEED), cells, RANKS
+        )
+        rows.append(
+            [
+                m,
+                cells,
+                float(result.accuracy(pendulum_study.truth)),
+                float(baseline.accuracy),
+            ]
+        )
+    print_report(
+        "Partition depth (bench scale)",
+        ["m", "cells", "M2TD-SELECT", "Random"],
+        rows,
+    )
+    # deeper partition: smaller budget, lower (but still winning) accuracy
+    assert rows[1][1] < rows[0][1]
+    assert rows[1][2] > 3 * max(rows[1][3], 1e-9)

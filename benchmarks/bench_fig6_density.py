@@ -1,0 +1,47 @@
+"""Figure 6: effective density of partition-stitch sampling.
+
+Benchmarks the JE-stitching step itself and prints the analytic vs
+measured density gains — the measured join entry count must equal the
+``P * E^2`` arithmetic exactly under cross-product sampling.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SEED, print_report
+from repro.core import join_tensor
+from repro.sampling import budget_for_fractions, effective_density_ratio
+
+
+@pytest.mark.parametrize("free_fraction", [1.0, 0.5, 0.25])
+def test_stitching_speed(benchmark, pendulum_study, free_fraction):
+    partition = pendulum_study.default_partition()
+    budget = budget_for_fractions(partition, 1.0, free_fraction)
+    x1, x2, _cells, _runs = pendulum_study.sample_sub_ensembles(
+        partition, budget, seed=BENCH_SEED
+    )
+    joined = benchmark(lambda: join_tensor(x1, x2, partition))
+    assert joined.nnz == budget.join_entries
+
+
+def test_fig6_summary(pendulum_study):
+    partition = pendulum_study.default_partition()
+    full_cells = pendulum_study.truth.size
+    rows = []
+    for fraction in (1.0, 0.5, 0.25):
+        budget = budget_for_fractions(partition, 1.0, fraction)
+        x1, x2, cells, _runs = pendulum_study.sample_sub_ensembles(
+            partition, budget, seed=BENCH_SEED
+        )
+        joined = join_tensor(x1, x2, partition)
+        measured_gain = (joined.nnz / full_cells) / (cells / full_cells)
+        analytic_gain = effective_density_ratio(partition, budget)
+        rows.append(
+            [f"{fraction:.0%}", cells, joined.nnz,
+             float(analytic_gain), float(measured_gain)]
+        )
+        assert measured_gain == pytest.approx(analytic_gain, rel=0.01)
+    print_report(
+        "Figure 6 (bench scale)",
+        ["E", "budget cells", "join entries", "gain analytic", "gain measured"],
+        rows,
+    )

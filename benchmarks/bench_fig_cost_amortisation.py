@@ -1,0 +1,73 @@
+"""Section VII-E1's cost-amortisation claim.
+
+Benchmarks the simulation work each strategy performs: the partitioned
+scheme integrates only ``2 * E`` parameter combinations, the full
+space needs ``R^4``.  Paper shape: the same effective density for a
+small fraction of the integrator work.
+"""
+
+import numpy as np
+
+from _bench_utils import print_report
+from repro.simulation import simulate_fibers
+
+
+def _sub_ensemble_runs(study):
+    partition = study.default_partition()
+    space = study.space
+    runs = []
+    for which in (1, 2):
+        free_modes = partition.s1_free if which == 1 else partition.s2_free
+        combos = np.stack(
+            np.meshgrid(
+                *(np.arange(space.shape[m]) for m in free_modes),
+                indexing="ij",
+            ),
+            axis=-1,
+        ).reshape(-1, len(free_modes))
+        block = np.empty((combos.shape[0], space.n_param_modes), dtype=np.int64)
+        for mode in range(space.n_param_modes):
+            if mode in free_modes:
+                block[:, mode] = combos[:, free_modes.index(mode)]
+            else:
+                block[:, mode] = partition.fixed_indices[mode]
+        runs.append(block)
+    return np.vstack(runs)
+
+
+def test_partitioned_simulation_cost(benchmark, pendulum_study):
+    indices = _sub_ensemble_runs(pendulum_study)
+    benchmark(
+        lambda: simulate_fibers(
+            pendulum_study.space, pendulum_study.observation, indices
+        )
+    )
+    assert indices.shape[0] == 2 * pendulum_study.space.resolution ** 2
+
+
+def test_full_space_simulation_cost(benchmark, pendulum_study):
+    space = pendulum_study.space
+    total = space.n_simulations_full
+    all_indices = np.stack(
+        np.unravel_index(
+            np.arange(total), (space.resolution,) * space.n_param_modes
+        ),
+        axis=1,
+    )
+    benchmark(
+        lambda: simulate_fibers(
+            space, pendulum_study.observation, all_indices
+        )
+    )
+
+
+def test_cost_summary(pendulum_study):
+    space = pendulum_study.space
+    partitioned = _sub_ensemble_runs(pendulum_study).shape[0]
+    full = space.n_simulations_full
+    print_report(
+        "Simulation runs needed (bench scale)",
+        ["scheme", "runs"],
+        [["partition-stitch", partitioned], ["full space", full]],
+    )
+    assert partitioned * 4 <= full

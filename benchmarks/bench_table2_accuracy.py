@@ -1,0 +1,76 @@
+"""Table II(a)/(b): accuracy and decomposition time per scheme on the
+double pendulum.
+
+Each benchmark times one scheme's sample-and-decompose path at the
+benchmark resolution and rank; the printed table carries the measured
+accuracies — the paper's shape is M2TD >> Grid/Slice >> Random at the
+same cell budget, with M2TD paying more decomposition time.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_RANK, BENCH_SEED, print_report
+from repro.sampling import GridSampler, RandomSampler, SliceSampler
+
+RANKS = [BENCH_RANK] * 5
+
+
+@pytest.mark.parametrize("variant", ["avg", "concat", "select"])
+def test_m2td_variant(benchmark, pendulum_study, variant):
+    result = benchmark(
+        lambda: pendulum_study.run_m2td(RANKS, variant=variant, seed=BENCH_SEED)
+    )
+    print_report(
+        f"Table II row: M2TD-{variant.upper()}",
+        ["scheme", "accuracy", "cells", "join nnz"],
+        [[result.scheme, float(result.accuracy), result.cells, result.join_nnz]],
+    )
+    assert result.accuracy > 0.1
+
+
+@pytest.mark.parametrize(
+    "sampler_factory",
+    [
+        lambda: RandomSampler(BENCH_SEED),
+        lambda: GridSampler(),
+        lambda: SliceSampler(BENCH_SEED),
+    ],
+    ids=["random", "grid", "slice"],
+)
+def test_conventional_scheme(benchmark, pendulum_study, sampler_factory):
+    budget = pendulum_study.matched_budget()
+    result = benchmark(
+        lambda: pendulum_study.run_conventional(
+            sampler_factory(), budget, RANKS
+        )
+    )
+    print_report(
+        f"Table II row: {result.scheme}",
+        ["scheme", "accuracy", "cells"],
+        [[result.scheme, float(result.accuracy), result.cells]],
+    )
+    assert result.accuracy < 0.1  # orders below M2TD
+
+
+def test_table2_summary(pendulum_study):
+    """Non-timed: print the full Table II comparison at bench scale."""
+    rows = []
+    for variant in ("avg", "concat", "select"):
+        r = pendulum_study.run_m2td(RANKS, variant=variant, seed=BENCH_SEED)
+        rows.append([r.scheme, float(r.accuracy), float(r.decompose_seconds)])
+    budget = pendulum_study.matched_budget()
+    for sampler in (
+        RandomSampler(BENCH_SEED),
+        GridSampler(),
+        SliceSampler(BENCH_SEED),
+    ):
+        r = pendulum_study.run_conventional(sampler, budget, RANKS)
+        rows.append([r.scheme, float(r.accuracy), float(r.decompose_seconds)])
+    print_report(
+        "Table II (bench scale)",
+        ["scheme", "accuracy", "seconds"],
+        rows,
+    )
+    m2td_floor = min(row[1] for row in rows[:3])
+    conventional_ceiling = max(row[1] for row in rows[3:])
+    assert m2td_floor > 3 * conventional_ceiling

@@ -1,0 +1,69 @@
+"""Table V: reduced budgets and zero-join stitching.
+
+Benchmarks the M2TD path under the low-budget random sub-sampling
+regime with plain join and with zero-join.  Paper shape: accuracy
+drops for everyone at 10% budget, and zero-join recovers a large part
+of the loss by boosting the stitched density.
+"""
+
+from _bench_utils import BENCH_RANK, BENCH_SEED, print_report
+
+RANKS = [BENCH_RANK] * 5
+LOW_FRACTION = 0.1
+
+
+def test_full_budget_join(benchmark, pendulum_study):
+    result = benchmark(
+        lambda: pendulum_study.run_m2td(RANKS, seed=BENCH_SEED)
+    )
+    assert result.accuracy > 0.1
+
+
+def test_low_budget_plain_join(benchmark, pendulum_study):
+    result = benchmark(
+        lambda: pendulum_study.run_m2td(
+            RANKS,
+            free_fraction=LOW_FRACTION,
+            sub_sampling="random",
+            join_kind="join",
+            seed=BENCH_SEED,
+        )
+    )
+    assert result.cells < pendulum_study.matched_budget()
+
+
+def test_low_budget_zero_join(benchmark, pendulum_study):
+    result = benchmark(
+        lambda: pendulum_study.run_m2td(
+            RANKS,
+            free_fraction=LOW_FRACTION,
+            sub_sampling="random",
+            join_kind="zero",
+            seed=BENCH_SEED,
+        )
+    )
+    assert result.join_nnz > 0
+
+
+def test_table5_summary(pendulum_study):
+    full = pendulum_study.run_m2td(RANKS, seed=BENCH_SEED)
+    low_join = pendulum_study.run_m2td(
+        RANKS, free_fraction=LOW_FRACTION, sub_sampling="random",
+        join_kind="join", seed=BENCH_SEED,
+    )
+    low_zero = pendulum_study.run_m2td(
+        RANKS, free_fraction=LOW_FRACTION, sub_sampling="random",
+        join_kind="zero", seed=BENCH_SEED,
+    )
+    print_report(
+        "Table V (bench scale)",
+        ["budget", "stitch", "accuracy", "join nnz"],
+        [
+            ["100%", "join", float(full.accuracy), full.join_nnz],
+            ["10%", "join", float(low_join.accuracy), low_join.join_nnz],
+            ["10%", "zero-join", float(low_zero.accuracy), low_zero.join_nnz],
+        ],
+    )
+    assert full.accuracy > low_zero.accuracy
+    assert low_zero.join_nnz > low_join.join_nnz
+    assert low_zero.accuracy > low_join.accuracy

@@ -1,0 +1,35 @@
+"""Table VI: reduced pivot density P (E stays at 100%).
+
+Paper shape: lowering P reduces the budget and the accuracy, but far
+more gently than lowering E (see bench_table7) — effective density is
+proportional to P * E^2.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_RANK, BENCH_SEED, print_report
+
+RANKS = [BENCH_RANK] * 5
+FRACTIONS = (1.0, 0.5, 0.25)
+
+
+@pytest.mark.parametrize("pivot_fraction", FRACTIONS)
+def test_pivot_density(benchmark, pendulum_study, pivot_fraction):
+    result = benchmark(
+        lambda: pendulum_study.run_m2td(
+            RANKS, pivot_fraction=pivot_fraction, seed=BENCH_SEED
+        )
+    )
+    assert result.accuracy > 0
+
+
+def test_table6_summary(pendulum_study):
+    rows = []
+    for fraction in FRACTIONS:
+        r = pendulum_study.run_m2td(
+            RANKS, pivot_fraction=fraction, seed=BENCH_SEED
+        )
+        rows.append([f"{fraction:.0%}", r.cells, float(r.accuracy)])
+    print_report("Table VI (bench scale)", ["P", "cells", "M2TD-SELECT"], rows)
+    # budget shrinks with P
+    assert rows[0][1] > rows[1][1] > rows[2][1]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench works against session-cached studies at the benchmark
+resolution, so pytest-benchmark timings measure decomposition work,
+not ground-truth construction.  Each table bench also prints the
+reproduced rows (use ``-s`` to see them) so a benchmark run doubles as
+an experiment log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_RESOLUTION
+from repro.core import EnsembleStudy
+from repro.simulation import make_system
+
+
+@pytest.fixture(scope="session")
+def studies():
+    """Lazily-built studies per system at benchmark scale."""
+    cache = {}
+
+    def get(system_name: str) -> EnsembleStudy:
+        if system_name not in cache:
+            cache[system_name] = EnsembleStudy.create(
+                make_system(system_name), BENCH_RESOLUTION
+            )
+        return cache[system_name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def pendulum_study(studies):
+    return studies("double_pendulum")

@@ -1,0 +1,75 @@
+"""Anomaly scanning: which configurations defy the global pattern?
+
+A practical payoff of a fitted ensemble decomposition: the
+reconstruction is the "expected" behaviour implied by the ensemble's
+dominant patterns, so cells with large reconstruction residuals mark
+simulation configurations that *break* the pattern — exactly the
+scenarios a decision maker wants surfaced.
+
+The script fits M2TD-SELECT on a Lorenz ensemble (whose parameter
+ranges straddle chaotic and non-chaotic regimes), ranks parameter
+configurations by residual energy, and resolves the top anomalies to
+concrete parameter values.
+
+Run:  python examples/anomaly_scan.py
+"""
+
+import numpy as np
+
+from repro import EnsembleStudy, Lorenz
+from repro.experiments import format_table
+
+RESOLUTION = 8
+RANKS = [3] * 5
+SEED = 7
+TOP_K = 5
+
+
+def main() -> None:
+    print(f"Building the Lorenz study (resolution {RESOLUTION}) ...")
+    study = EnsembleStudy.create(Lorenz(), resolution=RESOLUTION)
+    result = study.run_m2td(RANKS, variant="select", seed=SEED)
+    print(f"M2TD-SELECT accuracy: {result.accuracy:.4f}\n")
+
+    expected = result.m2td.reconstruct_original()
+    residual = study.truth - expected
+    # Residual energy per parameter configuration (sum over time).
+    per_config = np.sqrt((residual**2).sum(axis=-1))
+    flat_order = np.argsort(-per_config.ravel())[:TOP_K]
+
+    rows = []
+    param_shape = study.space.shape[: study.space.n_param_modes]
+    for flat in flat_order:
+        indices = np.unravel_index(flat, param_shape)
+        params = study.space.params_from_indices(indices)
+        truth_norm = float(
+            np.linalg.norm(study.truth[indices])
+        )
+        rows.append(
+            [
+                ", ".join(f"{k}={v:.2f}" for k, v in params.items()),
+                float(per_config[indices]),
+                truth_norm,
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "residual energy", "fiber norm"], rows
+        )
+    )
+    rho_values = [
+        study.space.params_from_indices(np.unravel_index(f, param_shape))[
+            "rho"
+        ]
+        for f in flat_order
+    ]
+    print(
+        f"\nTop-{TOP_K} anomalies have rho in "
+        f"[{min(rho_values):.1f}, {max(rho_values):.1f}] — the ensemble's "
+        "dominant (smooth) patterns fail exactly where the dynamics turn "
+        "most strongly convective."
+    )
+
+
+if __name__ == "__main__":
+    main()

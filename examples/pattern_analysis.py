@@ -1,0 +1,73 @@
+"""Reading the patterns out of an M2TD decomposition.
+
+The paper's end goal is not the decomposition itself but what a
+decision maker learns from it.  This example decomposes a double-
+pendulum ensemble with M2TD-SELECT and then *interprets* the result:
+
+* per-mode summaries — which parameter values dominate the ensemble's
+  variance and how concentrated each mode is;
+* dominant multi-way patterns — the largest core interactions,
+  resolved back to concrete parameter values;
+* the core energy spectrum — how few patterns carry the ensemble.
+
+Run:  python examples/pattern_analysis.py
+"""
+
+import numpy as np
+
+from repro import DoublePendulum, EnsembleStudy
+from repro.analysis import (
+    core_energy_spectrum,
+    describe_patterns,
+    dominant_patterns,
+    energy_rank,
+    summarize_factors,
+)
+
+RESOLUTION = 8
+RANKS = [3] * 5
+SEED = 7
+
+
+def main() -> None:
+    print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
+    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    result = study.run_m2td(RANKS, variant="select", seed=SEED)
+    print(f"M2TD-SELECT accuracy: {result.accuracy:.4f}\n")
+
+    # The M2TD factors live in join mode order; map names accordingly.
+    partition = result.m2td.partition
+    join_names = [study.space.mode_names[m] for m in partition.join_modes]
+    tucker = result.m2td.tucker
+
+    print("-- Mode summaries --")
+    for summary in summarize_factors(tucker, join_names):
+        print(" ", summary.describe())
+
+    print("\n-- Dominant multi-way patterns --")
+    patterns = dominant_patterns(tucker, count=4)
+    print(describe_patterns(patterns, mode_names=join_names))
+
+    print("\n-- Resolving the top pattern to parameter values --")
+    top = patterns[0]
+    for axis, (index, loading) in enumerate(top.anchors):
+        original_mode = partition.join_modes[axis]
+        name = study.space.mode_names[original_mode]
+        if original_mode == study.space.time_mode:
+            step = study.space.time_indices[index]
+            t_value = step / study.space.system.n_steps * study.space.system.t_end
+            print(f"  {name}: sample {index} (t = {t_value:.2f} s)")
+        else:
+            value = study.space.grid(original_mode)[index]
+            print(f"  {name}: grid index {index} (value {value:.3f})")
+
+    spectrum = core_energy_spectrum(tucker)
+    print(
+        f"\nCore energy: top pattern carries {spectrum[0]:.0%}, "
+        f"{energy_rank(tucker, 0.9)} of {tucker.core.size} core entries "
+        "reach 90%."
+    )
+
+
+if __name__ == "__main__":
+    main()

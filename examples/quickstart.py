@@ -1,0 +1,49 @@
+"""Quickstart: partition-stitch sampling + M2TD in ~40 lines.
+
+Builds a small double-pendulum ensemble study, runs M2TD-SELECT and
+the three conventional sampling baselines at the same simulation
+budget, and prints the accuracy comparison — the paper's headline
+result (Table II) in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DoublePendulum, EnsembleStudy
+from repro.experiments import format_table
+from repro.sampling import GridSampler, RandomSampler, SliceSampler
+
+
+def main() -> None:
+    # One study = one ground-truth tensor: every parameter combination
+    # of the system, simulated, at `resolution` values per mode.
+    print("Building the double-pendulum study (resolution 8) ...")
+    study = EnsembleStudy.create(DoublePendulum(), resolution=8)
+    ranks = [3] * 5  # Tucker rank per tensor mode
+
+    # Partition-stitch sampling + M2TD-SELECT (the paper's method).
+    m2td = study.run_m2td(ranks, variant="select", pivot="t", seed=7)
+
+    # Conventional baselines at exactly the same cell budget.
+    budget = study.matched_budget()
+    rows = [
+        [m2td.scheme, m2td.accuracy, m2td.decompose_seconds, m2td.cells]
+    ]
+    for sampler in (RandomSampler(7), GridSampler(), SliceSampler(7)):
+        result = study.run_conventional(sampler, budget, ranks)
+        rows.append(
+            [result.scheme, result.accuracy, result.decompose_seconds,
+             result.cells]
+        )
+
+    print()
+    print(format_table(["scheme", "accuracy", "seconds", "cells"], rows))
+    print()
+    gain = m2td.accuracy / max(r[1] for r in rows[1:])
+    print(
+        f"M2TD-SELECT is {gain:,.0f}x more accurate than the best "
+        "conventional scheme at the same simulation budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

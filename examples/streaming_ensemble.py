@@ -1,0 +1,94 @@
+"""Streaming M2TD: folding new time samples into a live decomposition.
+
+A monitoring scenario: the ensemble's simulations keep running, and
+every new batch of time samples appends a slab to both sub-ensembles.
+Instead of refitting all factor matrices from scratch after every
+batch, :class:`~repro.core.incremental.IncrementalM2TD` maintains each
+matricization's truncated SVD incrementally (Brand-style row/column
+appends) and only core recovery touches the accumulated join tensor.
+
+The script streams a double-pendulum study one time step at a time and
+reports, per step, the model's fit against the join tensor alongside a
+fresh batch refit — the streamed model tracks the batch one closely.
+
+Run:  python examples/streaming_ensemble.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DoublePendulum, EnsembleStudy
+from repro.core.incremental import IncrementalM2TD, batch_reference
+from repro.experiments import format_table
+from repro.sampling import budget_for_fractions
+
+RESOLUTION = 10
+RANKS_JOIN = [3, 3, 3, 3, 3]  # pivot, free1 x2, free2 x2
+SEED = 7
+WARMUP_STEPS = 4
+
+
+def join_fit(tucker, x1, x2):
+    t = x1.shape[0]
+    joined = 0.5 * (
+        x1.reshape(x1.shape + (1, 1)) + x2.reshape((t, 1, 1) + x2.shape[1:])
+    )
+    reconstruction = tucker.reconstruct()
+    return 1 - np.linalg.norm(reconstruction - joined) / np.linalg.norm(joined)
+
+
+def main() -> None:
+    print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
+    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    partition = study.default_partition()
+    budget = budget_for_fractions(partition, 1.0, 1.0)
+    x1, x2, _cells, _runs = study.sample_sub_ensembles(
+        partition, budget, seed=SEED
+    )
+    x1 = x1.to_dense()  # (T, phi1, m1)
+    x2 = x2.to_dense()  # (T, phi2, m2)
+
+    state = IncrementalM2TD(
+        x1[:WARMUP_STEPS], x2[:WARMUP_STEPS], RANKS_JOIN, variant="select"
+    )
+    rows = []
+    for t in range(WARMUP_STEPS, RESOLUTION):
+        started = time.perf_counter()
+        state.append(x1[t : t + 1], x2[t : t + 1])
+        update_seconds = time.perf_counter() - started
+        snapshot = state.decompose()
+        started = time.perf_counter()
+        batch = batch_reference(x1[: t + 1], x2[: t + 1], RANKS_JOIN)
+        batch_seconds = time.perf_counter() - started
+        rows.append(
+            [
+                t + 1,
+                join_fit(snapshot.tucker, x1[: t + 1], x2[: t + 1]),
+                join_fit(batch, x1[: t + 1], x2[: t + 1]),
+                update_seconds * 1e3,
+                batch_seconds * 1e3,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "time samples",
+                "streamed fit",
+                "batch fit",
+                "update (ms)",
+                "refit (ms)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe streamed model tracks the batch refit while touching "
+        "only the new slab per step (factor updates); core recovery "
+        "remains the shared cost, exactly the paper's phase-3 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""M2TD: Multi-Task Tensor Decomposition for Sparse Ensemble
+Simulations — a full reproduction of Li, Candan & Sapino, ICDE 2018.
+
+Quick start
+-----------
+>>> from repro import EnsembleStudy, DoublePendulum
+>>> study = EnsembleStudy.create(DoublePendulum(), resolution=8)
+>>> result = study.run_m2td([3] * 5, variant="select")
+>>> 0 < result.accuracy < 1
+True
+
+Package map
+-----------
+``repro.tensor``
+    Tensor algebra substrate (dense/sparse, Tucker, CP).
+``repro.simulation``
+    Dynamical systems, integrators, ensemble construction.
+``repro.sampling``
+    Conventional samplers and PF-partitioning.
+``repro.core``
+    JE-stitching, the M2TD variants, the study pipeline.
+``repro.distributed``
+    MapReduce engine, cluster model, D-M2TD.
+``repro.storage``
+    Block-based sparse tensor store.
+``repro.experiments``
+    Table/figure reproduction harness and CLI.
+"""
+
+from .core import (
+    EnsembleStudy,
+    M2TDResult,
+    StudyResult,
+    accuracy,
+    join_tensor,
+    m2td_avg,
+    m2td_concat,
+    m2td_decompose,
+    m2td_select,
+    zero_join_tensor,
+)
+from .distributed import ClusterModel, distributed_m2td
+from .exceptions import ReproError
+from .sampling import (
+    GridSampler,
+    PartitionBudget,
+    PFPartition,
+    RandomSampler,
+    SampleSet,
+    SliceSampler,
+    budget_for_fractions,
+    select_sub_ensembles,
+)
+from .simulation import (
+    DoublePendulum,
+    DynamicalSystem,
+    Lorenz,
+    Observation,
+    ParameterSpace,
+    TriplePendulum,
+    full_space_tensor,
+    make_observation,
+    make_system,
+)
+from .storage import BlockTensorStore
+from .tensor import (
+    CPTensor,
+    SparseTensor,
+    TuckerTensor,
+    cp_als,
+    em_tucker,
+    energy_threshold_ranks,
+    hooi,
+    hosvd,
+    st_hosvd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnsembleStudy",
+    "M2TDResult",
+    "StudyResult",
+    "accuracy",
+    "join_tensor",
+    "m2td_avg",
+    "m2td_concat",
+    "m2td_decompose",
+    "m2td_select",
+    "zero_join_tensor",
+    "ClusterModel",
+    "distributed_m2td",
+    "ReproError",
+    "GridSampler",
+    "PartitionBudget",
+    "PFPartition",
+    "RandomSampler",
+    "SampleSet",
+    "SliceSampler",
+    "budget_for_fractions",
+    "select_sub_ensembles",
+    "DoublePendulum",
+    "DynamicalSystem",
+    "Lorenz",
+    "Observation",
+    "ParameterSpace",
+    "TriplePendulum",
+    "full_space_tensor",
+    "make_observation",
+    "make_system",
+    "BlockTensorStore",
+    "CPTensor",
+    "SparseTensor",
+    "TuckerTensor",
+    "cp_als",
+    "em_tucker",
+    "energy_threshold_ranks",
+    "hooi",
+    "hosvd",
+    "st_hosvd",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Adaptive (single-run replication) ensemble growth on top of
+partition-stitch sampling."""
+
+from .loop import (
+    AdaptiveEnsembleBuilder,
+    AdaptiveResult,
+    AdaptiveRound,
+    random_reference,
+)
+
+__all__ = [
+    "AdaptiveEnsembleBuilder",
+    "AdaptiveResult",
+    "AdaptiveRound",
+    "random_reference",
+]

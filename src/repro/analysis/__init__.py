@@ -1,0 +1,47 @@
+"""Post-decomposition analysis: turning factor matrices and cores into
+the "broad, actionable patterns" the paper's decision makers need.
+"""
+
+from .compare import (
+    SubspaceRecovery,
+    factor_recovery,
+    principal_angles,
+    subspace_affinity,
+    truth_decomposition,
+)
+from .factors import (
+    ModeSummary,
+    component_loadings,
+    index_loadings,
+    participation_ratio,
+    summarize_factors,
+    summarize_mode,
+    top_indices,
+)
+from .patterns import (
+    Pattern,
+    core_energy_spectrum,
+    describe_patterns,
+    dominant_patterns,
+    energy_rank,
+)
+
+__all__ = [
+    "SubspaceRecovery",
+    "factor_recovery",
+    "principal_angles",
+    "subspace_affinity",
+    "truth_decomposition",
+    "ModeSummary",
+    "component_loadings",
+    "index_loadings",
+    "participation_ratio",
+    "summarize_factors",
+    "summarize_mode",
+    "top_indices",
+    "Pattern",
+    "core_energy_spectrum",
+    "describe_patterns",
+    "dominant_patterns",
+    "energy_rank",
+]

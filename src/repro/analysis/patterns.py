@@ -1,0 +1,116 @@
+"""Cross-mode pattern extraction from a Tucker decomposition.
+
+A Tucker core entry ``G[r_1, ..., r_N]`` measures how strongly the
+combination of component ``r_n`` of each mode interacts; the largest
+|core| entries therefore *are* the ensemble's dominant multi-way
+patterns.  This module ranks them and resolves each one back to
+concrete parameter values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..tensor.tucker import TuckerTensor
+from .factors import top_indices
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One dominant multi-way interaction.
+
+    Attributes
+    ----------
+    components:
+        The core multi-index (one factor component per mode).
+    strength:
+        The signed core value.
+    share:
+        This pattern's fraction of total core energy.
+    anchors:
+        Per mode, the strongest index of the involved component,
+        ``(mode index, loading)``.
+    """
+
+    components: Tuple[int, ...]
+    strength: float
+    share: float
+    anchors: Tuple[Tuple[int, float], ...]
+
+
+def core_energy_spectrum(tucker: TuckerTensor) -> np.ndarray:
+    """Sorted squared core values normalized to sum to 1 — how many
+    multi-way patterns carry the ensemble's energy."""
+    energy = np.sort((tucker.core.ravel() ** 2))[::-1]
+    total = energy.sum()
+    if total == 0:
+        raise ShapeError("core tensor has zero energy")
+    return energy / total
+
+
+def energy_rank(tucker: TuckerTensor, threshold: float = 0.9) -> int:
+    """Number of core entries needed to reach ``threshold`` of the
+    core energy."""
+    if not 0.0 < threshold <= 1.0:
+        raise ShapeError(f"threshold must be in (0, 1], got {threshold}")
+    spectrum = core_energy_spectrum(tucker)
+    return int(np.searchsorted(np.cumsum(spectrum), threshold) + 1)
+
+
+def dominant_patterns(
+    tucker: TuckerTensor,
+    count: int = 5,
+    anchor_count: int = 1,
+) -> List[Pattern]:
+    """The ``count`` strongest multi-way patterns of a decomposition."""
+    if count < 1:
+        raise ShapeError(f"count must be >= 1, got {count}")
+    core = tucker.core
+    total_energy = float((core**2).sum())
+    if total_energy == 0:
+        raise ShapeError("core tensor has zero energy")
+    flat_order = np.argsort(-np.abs(core.ravel()))[: int(count)]
+    patterns = []
+    for flat in flat_order:
+        components = tuple(
+            int(i) for i in np.unravel_index(flat, core.shape)
+        )
+        strength = float(core[components])
+        anchors = tuple(
+            top_indices(tucker, mode, components[mode], anchor_count)[0]
+            for mode in range(tucker.ndim)
+        )
+        patterns.append(
+            Pattern(
+                components=components,
+                strength=strength,
+                share=strength**2 / total_energy,
+                anchors=anchors,
+            )
+        )
+    return patterns
+
+
+def describe_patterns(
+    patterns: Sequence[Pattern],
+    mode_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Human-readable rendering of extracted patterns."""
+    lines = []
+    for rank, pattern in enumerate(patterns, start=1):
+        anchor_text = ", ".join(
+            f"{mode_names[mode] if mode_names else f'mode{mode}'}"
+            f"@{index}"
+            for mode, (index, _loading) in enumerate(pattern.anchors)
+        )
+        lines.append(
+            f"#{rank}: components {pattern.components} "
+            f"(strength {pattern.strength:+.3f}, "
+            f"{pattern.share:.0%} of core energy) anchored at "
+            f"{anchor_text}"
+        )
+    return "\n".join(lines)

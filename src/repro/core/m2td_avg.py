@@ -1,0 +1,38 @@
+"""M2TD-AVG (paper Algorithm 2, Figure 7).
+
+Pivot-mode factor matrices from the two sub-decompositions are
+combined by element-wise averaging.  Cheapest variant; the averaged
+columns are no longer singular vectors, which caps its accuracy and
+motivates CONCAT and SELECT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sampling.partition import PFPartition
+from .m2td import M2TDResult, TensorLike, m2td_decompose
+
+
+def m2td_avg(
+    x1: TensorLike,
+    x2: TensorLike,
+    partition: PFPartition,
+    ranks: Sequence[int],
+    join_kind: str = "join",
+    lazy: bool = False,
+    zero_join_candidates: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> M2TDResult:
+    """Decompose the stitched ensemble with the AVG pivot combiner."""
+    return m2td_decompose(
+        x1,
+        x2,
+        partition,
+        ranks,
+        variant="avg",
+        join_kind=join_kind,
+        lazy=lazy,
+        zero_join_candidates=zero_join_candidates,
+    )

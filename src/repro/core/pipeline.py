@@ -1,0 +1,282 @@
+"""End-to-end ensemble studies: the library's primary high-level API.
+
+An :class:`EnsembleStudy` owns one (system, resolution) ground truth
+and exposes the two competing workflows of the paper:
+
+* :meth:`EnsembleStudy.run_conventional` — sample the full space with
+  a conventional scheme (Random/Grid/Slice) and HOSVD the sparse
+  ensemble (Section IV);
+* :meth:`EnsembleStudy.run_m2td` — PF-partition the space, sample two
+  dense sub-ensembles, JE-stitch and decompose with an M2TD variant
+  (Sections V-VI).
+
+Both return a :class:`StudyResult` carrying the paper's reporting
+quantities (accuracy, decomposition time, budget consumed).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from ..sampling.base import Sampler
+from ..sampling.budget import PartitionBudget, budget_for_fractions
+from ..sampling.partition import PFPartition
+from ..sampling.sub_ensemble import select_sub_ensembles
+from ..simulation.ensemble import full_space_tensor
+from ..simulation.observation import Observation, make_observation
+from ..simulation.parameter_space import ParameterSpace
+from ..simulation.systems import DynamicalSystem
+from ..tensor.random import SeedLike, make_rng
+from ..tensor.sparse import SparseTensor
+from ..tensor.tucker import TuckerTensor
+from .evaluation import decompose_sample
+from .m2td import M2TDResult, m2td_decompose
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class StudyResult:
+    """One scheme's outcome on one study configuration."""
+
+    scheme: str
+    accuracy: float
+    decompose_seconds: float
+    cells: int
+    runs: int
+    density: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    join_nnz: int = 0
+    m2td: Optional[M2TDResult] = None
+    #: The fitted decomposition (conventional schemes); M2TD runs carry
+    #: theirs inside ``m2td.tucker`` (join mode order).
+    tucker: Optional["TuckerTensor"] = None
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table reporting."""
+        return {
+            "scheme": self.scheme,
+            "accuracy": self.accuracy,
+            "seconds": self.decompose_seconds,
+            "cells": self.cells,
+            "runs": self.runs,
+            "density": self.density,
+        }
+
+
+def _count_runs(coords: np.ndarray, time_mode: int) -> int:
+    if coords.shape[0] == 0:
+        return 0
+    param_modes = [m for m in range(coords.shape[1]) if m != time_mode]
+    return int(np.unique(coords[:, param_modes], axis=0).shape[0])
+
+
+@dataclass
+class EnsembleStudy:
+    """Ground truth plus helpers for running competing schemes on it."""
+
+    space: ParameterSpace
+    observation: Observation
+    truth: np.ndarray
+
+    @classmethod
+    def create(
+        cls,
+        system: DynamicalSystem,
+        resolution: int,
+        time_resolution: Optional[int] = None,
+        true_params: Optional[Dict[str, float]] = None,
+        chunk_size: int = 4096,
+    ) -> "EnsembleStudy":
+        """Build the study: discretize, observe, simulate the full space.
+
+        This is the expensive step (``resolution ** n_params``
+        batched simulation runs) and is shared by every scheme
+        evaluated on the study.
+        """
+        space = ParameterSpace(
+            system, resolution, time_resolution=time_resolution
+        )
+        observation = make_observation(space, true_params=true_params)
+        logger.info(
+            "building ground truth for %s: %d simulation runs over %s",
+            system.name,
+            space.n_simulations_full,
+            space.shape,
+        )
+        truth = full_space_tensor(space, observation, chunk_size=chunk_size)
+        return cls(space=space, observation=observation, truth=truth)
+
+    # ------------------------------------------------------------------
+    # conventional schemes
+    # ------------------------------------------------------------------
+    def run_conventional(
+        self,
+        sampler: Sampler,
+        budget_cells: int,
+        ranks: Sequence[int],
+    ) -> StudyResult:
+        """Sample-then-decompose with a Section IV baseline scheme."""
+        sample = sampler.sample(self.space.shape, budget_cells)
+        baseline = decompose_sample(self.truth, sample, ranks)
+        return StudyResult(
+            scheme=sampler.name,
+            accuracy=baseline.accuracy(self.truth),
+            decompose_seconds=baseline.decompose_seconds,
+            cells=sample.n_cells,
+            runs=sample.n_runs(self.space.time_mode),
+            density=sample.density,
+            tucker=baseline.tucker,
+        )
+
+    # ------------------------------------------------------------------
+    # partition-stitch + M2TD
+    # ------------------------------------------------------------------
+    def default_partition(self, pivot: str = "t", **kwargs) -> PFPartition:
+        """The study's PF-partition for a named pivot mode."""
+        return PFPartition.for_space(self.space, pivot=pivot, **kwargs)
+
+    def sub_tensor_from_coords(
+        self, partition: PFPartition, which: int, sub_coords: np.ndarray
+    ) -> SparseTensor:
+        """Sub-ensemble tensor with values read from the ground truth."""
+        full_coords = partition.embed_coords(which, sub_coords)
+        values = self.truth[tuple(full_coords.T)]
+        return SparseTensor(partition.sub_shape(which), sub_coords, values)
+
+    def sample_sub_ensembles(
+        self,
+        partition: PFPartition,
+        budget: PartitionBudget,
+        sub_sampling: str = "cross",
+        seed: SeedLike = None,
+    ) -> Tuple[SparseTensor, SparseTensor, int, int]:
+        """Materialize both sub-ensemble tensors.
+
+        ``sub_sampling="cross"`` is the structured protocol of Section
+        V-B (shared pivot configs x free configs); ``"random"`` draws
+        the same number of cells uniformly within each sub-space — the
+        low-budget regime of Table V where zero-join earns its keep.
+
+        Returns ``(x1, x2, cells, runs)``.
+        """
+        if sub_sampling == "cross":
+            selection = select_sub_ensembles(partition, budget, seed=seed)
+            coords1 = selection.sub_coords(1)
+            coords2 = selection.sub_coords(2)
+        elif sub_sampling == "random":
+            rng = make_rng(seed)
+            coords1 = self._random_sub_coords(
+                partition, 1, budget.n_pivot * budget.n_free1, rng
+            )
+            coords2 = self._random_sub_coords(
+                partition, 2, budget.n_pivot * budget.n_free2, rng
+            )
+        else:
+            raise SamplingError(
+                f"sub_sampling must be 'cross' or 'random', got {sub_sampling!r}"
+            )
+        x1 = self.sub_tensor_from_coords(partition, 1, coords1)
+        x2 = self.sub_tensor_from_coords(partition, 2, coords2)
+        full = np.vstack(
+            [
+                partition.embed_coords(1, coords1),
+                partition.embed_coords(2, coords2),
+            ]
+        )
+        cells = coords1.shape[0] + coords2.shape[0]
+        runs = _count_runs(full, self.space.time_mode)
+        return x1, x2, cells, runs
+
+    @staticmethod
+    def _random_sub_coords(
+        partition: PFPartition,
+        which: int,
+        n_cells: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        shape = partition.sub_shape(which)
+        size = int(np.prod(shape))
+        n_cells = min(n_cells, size)
+        flat = rng.choice(size, size=n_cells, replace=False)
+        return np.stack(np.unravel_index(flat, shape), axis=1)
+
+    def run_m2td(
+        self,
+        ranks: Sequence[int],
+        variant: str = "select",
+        pivot: str = "t",
+        pivot_fraction: float = 1.0,
+        free_fraction: float = 1.0,
+        join_kind: str = "join",
+        lazy: bool = False,
+        sub_sampling: str = "cross",
+        partition: Optional[PFPartition] = None,
+        seed: SeedLike = None,
+    ) -> StudyResult:
+        """Full partition-stitch + M2TD workflow.
+
+        The effective simulation budget is
+        ``2 * P * E = 2 * pivot_fraction * free_fraction`` of the two
+        sub-spaces; pass the result's ``cells`` to a conventional
+        scheme for a budget-matched comparison.
+        """
+        if partition is None:
+            partition = self.default_partition(pivot=pivot)
+        budget = budget_for_fractions(
+            partition, pivot_fraction=pivot_fraction, free_fraction=free_fraction
+        )
+        x1, x2, cells, runs = self.sample_sub_ensembles(
+            partition, budget, sub_sampling=sub_sampling, seed=seed
+        )
+        started = time.perf_counter()
+        result = m2td_decompose(
+            x1,
+            x2,
+            partition,
+            ranks,
+            variant=variant,
+            join_kind=join_kind,
+            lazy=lazy,
+        )
+        elapsed = time.perf_counter() - started
+        logger.debug(
+            "M2TD-%s: %d cells, join nnz %d, %.3fs",
+            variant.upper(),
+            cells,
+            result.join_nnz,
+            elapsed,
+        )
+        return StudyResult(
+            scheme=f"M2TD-{variant.upper()}",
+            accuracy=result.accuracy(self.truth),
+            decompose_seconds=elapsed,
+            cells=cells,
+            runs=runs,
+            density=cells / self.truth.size,
+            phase_seconds=dict(result.phase_seconds),
+            join_nnz=result.join_nnz,
+            m2td=result,
+        )
+
+    def matched_budget(
+        self,
+        pivot: str = "t",
+        pivot_fraction: float = 1.0,
+        free_fraction: float = 1.0,
+        partition: Optional[PFPartition] = None,
+    ) -> int:
+        """Cell budget the M2TD configuration consumes — what the
+        conventional baselines receive for a fair comparison."""
+        if partition is None:
+            partition = self.default_partition(pivot=pivot)
+        budget = budget_for_fractions(
+            partition, pivot_fraction=pivot_fraction, free_fraction=free_fraction
+        )
+        return budget.cells

@@ -1,0 +1,27 @@
+"""Distributed substrate: a local MapReduce engine with per-task
+accounting, a simulated cluster cost model, and the 3-phase D-M2TD
+pipeline of paper Section VI-D.
+"""
+
+from .cluster import ClusterModel, lpt_makespan
+from .dm2td import PHASE_NAMES, DM2TDResult, distributed_m2td
+from .mapreduce import (
+    JobStats,
+    LocalMapReduceEngine,
+    MapReduceJob,
+    TaskStats,
+    payload_bytes,
+)
+
+__all__ = [
+    "ClusterModel",
+    "lpt_makespan",
+    "PHASE_NAMES",
+    "DM2TDResult",
+    "distributed_m2td",
+    "JobStats",
+    "LocalMapReduceEngine",
+    "MapReduceJob",
+    "TaskStats",
+    "payload_bytes",
+]

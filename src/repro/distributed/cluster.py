@@ -1,0 +1,95 @@
+"""The simulated cluster: replaying measured tasks on ``s`` servers.
+
+This substitutes for the paper's 18-server Chameleon/Hadoop deployment
+(see DESIGN.md).  Given the per-task compute times and shuffle volumes
+a :class:`~repro.distributed.mapreduce.LocalMapReduceEngine` run
+recorded, :class:`ClusterModel` answers "how long would this job have
+taken on ``s`` servers?":
+
+* tasks are assigned to servers with the classic LPT (longest
+  processing time first) greedy — the makespan is the busiest server;
+* every task also pays a fixed scheduling overhead;
+* the shuffle moves its bytes over a shared network whose effective
+  bandwidth grows sub-linearly with the server count.
+
+The model reproduces exactly the qualitative behaviour Table III
+reports: adding servers shortens phases, with diminishing returns as
+per-task overheads and data communication start to dominate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import MapReduceError
+from .mapreduce import JobStats
+
+
+def lpt_makespan(durations: Sequence[float], n_servers: int) -> float:
+    """Makespan of greedy longest-processing-time-first scheduling."""
+    if n_servers < 1:
+        raise MapReduceError(f"need at least 1 server, got {n_servers}")
+    loads = [0.0] * min(n_servers, max(len(durations), 1))
+    heapq.heapify(loads)
+    for duration in sorted(durations, reverse=True):
+        lightest = heapq.heappop(loads)
+        heapq.heappush(loads, lightest + float(duration))
+    return max(loads) if loads else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A cost model for a homogeneous cluster.
+
+    Attributes
+    ----------
+    n_servers:
+        Number of worker servers.
+    task_overhead_seconds:
+        Fixed cost charged per task (scheduling, JVM-ish startup).
+    network_seconds_per_mb:
+        Time to move one megabyte across the shuffle fabric with a
+        single server.
+    network_scaling:
+        Exponent of the effective bandwidth gain with servers: the
+        shuffle time divides by ``n_servers ** network_scaling``
+        (1.0 = perfectly parallel network, 0.0 = fully serialized).
+        The default 0.5 encodes the cross-traffic contention that
+        gives Table III its diminishing returns.
+    """
+
+    n_servers: int
+    task_overhead_seconds: float = 0.05
+    network_seconds_per_mb: float = 0.02
+    network_scaling: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise MapReduceError(
+                f"need at least 1 server, got {self.n_servers}"
+            )
+
+    def compute_time(self, durations: Sequence[float]) -> float:
+        """Wall-clock of a task set on this cluster (incl. overheads)."""
+        padded = [
+            float(d) + self.task_overhead_seconds for d in durations
+        ]
+        return lpt_makespan(padded, self.n_servers)
+
+    def shuffle_time(self, shuffle_bytes: int) -> float:
+        """Wall-clock of moving the shuffle volume."""
+        megabytes = shuffle_bytes / (1024.0 * 1024.0)
+        effective = self.n_servers**self.network_scaling
+        return megabytes * self.network_seconds_per_mb / effective
+
+    def job_time(self, stats: JobStats) -> float:
+        """Modelled wall-clock of one recorded MapReduce job."""
+        map_time = self.compute_time(
+            [t.compute_seconds for t in stats.map_tasks]
+        )
+        reduce_time = self.compute_time(
+            [t.compute_seconds for t in stats.reduce_tasks]
+        ) if stats.reduce_tasks else 0.0
+        return map_time + self.shuffle_time(stats.shuffle_bytes) + reduce_time

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the M2TD reproduction library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors (``TypeError`` etc. still
+propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor/matrix shape does not match what an operation requires."""
+
+
+class RankError(ReproError, ValueError):
+    """A requested decomposition rank is invalid for the given tensor."""
+
+
+class ModeError(ReproError, ValueError):
+    """A mode index is out of range or otherwise invalid."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A PF-partition specification is inconsistent with the system."""
+
+
+class BudgetError(ReproError, ValueError):
+    """A simulation budget cannot be satisfied (e.g. negative, or
+    smaller than the minimum number of samples a scheme needs)."""
+
+
+class SamplingError(ReproError, ValueError):
+    """An ensemble sampler was configured inconsistently."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A dynamical-system simulation failed (diverged, bad parameters)."""
+
+
+class StitchError(ReproError, ValueError):
+    """JE-stitching preconditions were violated (e.g. pivot mismatch)."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """The block tensor store hit an I/O or catalog consistency problem."""
+
+
+class MapReduceError(ReproError, RuntimeError):
+    """A MapReduce job failed (bad job spec, task raised, etc.)."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment runner was given an invalid configuration."""

@@ -1,0 +1,46 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+One runner per table/figure (Tables II-VIII, Figure 6, the Section
+VII-E1 cost analysis), a shared configuration, and a CLI
+(``python -m repro.experiments``).
+"""
+
+from .config import (
+    ExperimentConfig,
+    StudyCache,
+    default_config,
+    quick_config,
+)
+from .reporting import ExperimentReport, format_table, format_value
+from .runner import (
+    EXPERIMENTS,
+    available_experiments,
+    run_all,
+    run_experiment,
+)
+from .schemes import (
+    ALL_SCHEMES,
+    CONVENTIONAL_SCHEMES,
+    M2TD_VARIANTS,
+    conventional_sampler,
+    run_all_schemes,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "StudyCache",
+    "default_config",
+    "quick_config",
+    "ExperimentReport",
+    "format_table",
+    "format_value",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_all",
+    "run_experiment",
+    "ALL_SCHEMES",
+    "CONVENTIONAL_SCHEMES",
+    "M2TD_VARIANTS",
+    "conventional_sampler",
+    "run_all_schemes",
+]

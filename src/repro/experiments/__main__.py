@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments --list
+
+Run one table with the quick configuration::
+
+    python -m repro.experiments table2 --quick
+
+Run everything and write the reports to a file::
+
+    python -m repro.experiments --all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import default_config, quick_config
+from .runner import available_experiments, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the M2TD paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced quick configuration",
+    )
+    parser.add_argument(
+        "--output", help="also write the rendered reports to this file"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    config = quick_config() if args.quick else default_config()
+    if args.all:
+        targets = available_experiments()
+    elif args.experiments:
+        targets = args.experiments
+    else:
+        build_parser().print_help()
+        return 2
+    sections = []
+    if args.all:
+        reports = run_all(config)
+        for experiment_id in targets:
+            sections.append(reports[experiment_id].render())
+    else:
+        for experiment_id in targets:
+            started = time.perf_counter()
+            report = run_experiment(experiment_id, config)
+            elapsed = time.perf_counter() - started
+            rendered = report.render()
+            sections.append(f"{rendered}\n[ran in {elapsed:.1f}s]")
+    text = "\n\n".join(sections)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Extension experiment: stronger conventional baselines.
+
+The paper compares against Random/Grid/Slice sampling; two natural
+strengthenings from its own related work are evaluated here at the
+same budget:
+
+* **LHS** — Latin hypercube designs from the experiment-design
+  literature (Section II-A): space-filling, stratified sampling;
+* **MACH-style rescaling** ([31]) — uniform cell sampling is exactly a
+  MACH sketch of the full tensor *if* the survivors are rescaled by
+  ``1/p``; comparing Random vs its rescaled twin isolates the effect
+  of the unbiased-sketch correction.
+
+Expected shape: LHS lands in the conventional cluster with Random
+(space-filling cannot fix the fundamental sparsity); the MACH
+rescaling is *worse than zero-filling* here — it repairs the
+reconstruction norm in expectation but at ensemble densities
+(~1e-2 and below) the variance of the rescaled sketch dwarfs the
+signal and accuracy goes negative.  MACH's guarantees assume far
+denser sketches than any simulation budget affords, which is
+precisely the paper's argument for changing the sampling instead.
+"""
+
+from __future__ import annotations
+
+from ..sampling import GridSampler, RandomSampler, SliceSampler
+from ..sampling.lhs_sampler import LatinHypercubeSampler
+from ..tensor import SparseTensor, clip_ranks, hosvd
+from .config import ExperimentConfig, StudyCache
+from .reporting import ExperimentReport
+
+
+def mach_scaled_accuracy(study, budget: int, ranks) -> float:
+    """Random sampling with MACH's 1/p rescaling, then HOSVD."""
+    sample = RandomSampler(0).sample(study.space.shape, budget)
+    keep_probability = budget / study.truth.size
+    values = study.truth[tuple(sample.coords.T)] / keep_probability
+    sketch = SparseTensor(study.space.shape, sample.coords, values)
+    effective_ranks = clip_ranks(study.space.shape, ranks)
+    tucker = hosvd(sketch, effective_ranks)
+    return float(tucker.accuracy(study.truth))
+
+
+def run(
+    config: ExperimentConfig, cache: StudyCache = None
+) -> ExperimentReport:
+    config.validate()
+    cache = cache or StudyCache()
+    study = cache.study(config.default_system, config.default_resolution)
+    ranks = [config.default_rank] * study.space.n_modes
+    m2td = study.run_m2td(ranks, variant="select", seed=config.seed)
+    budget = m2td.cells
+
+    report = ExperimentReport(
+        experiment_id="ext-baselines",
+        title="Extension: stronger conventional baselines at matched budget",
+        headers=["scheme", "accuracy"],
+    )
+    for sampler in (
+        RandomSampler(config.seed),
+        LatinHypercubeSampler(config.seed),
+        GridSampler(),
+        SliceSampler(config.seed),
+    ):
+        result = study.run_conventional(sampler, budget, ranks)
+        report.add_row(result.scheme, float(result.accuracy))
+    report.add_row(
+        "Random + MACH 1/p rescaling",
+        mach_scaled_accuracy(study, budget, ranks),
+    )
+    report.add_row("Partition-stitch + M2TD-SELECT", float(m2td.accuracy))
+    return report

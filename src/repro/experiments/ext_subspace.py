@@ -1,0 +1,70 @@
+"""Extension experiment: factor-subspace recovery.
+
+Frobenius accuracy (the paper's metric) measures reconstruction; a
+decision maker additionally wants the *factor subspaces* — the actual
+patterns — to be right.  This experiment decomposes the full
+ground-truth tensor once (the reference patterns) and measures, per
+mode, how well each scheme's factor subspaces align with it
+(mean squared cosine of the principal angles; 1 = identical).
+
+Expected shape: M2TD's factors recover the true subspaces far better
+than the conventional schemes', whose factors are essentially noise —
+the accuracy gap of Table II is a *pattern* gap, not just a norm gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import factor_recovery, truth_decomposition
+from ..sampling import RandomSampler
+from ..tensor import clip_ranks
+from .config import ExperimentConfig, StudyCache
+from .reporting import ExperimentReport
+
+
+def run(
+    config: ExperimentConfig, cache: StudyCache = None
+) -> ExperimentReport:
+    config.validate()
+    cache = cache or StudyCache()
+    study = cache.study(config.default_system, config.default_resolution)
+    ranks = [config.default_rank] * study.space.n_modes
+    reference = truth_decomposition(
+        study.truth, clip_ranks(study.truth.shape, ranks)
+    )
+
+    m2td = study.run_m2td(ranks, variant="select", seed=config.seed)
+    m2td_recovery = factor_recovery(
+        m2td.m2td.tucker,
+        reference,
+        mode_map=m2td.m2td.partition.join_modes,
+    )
+    random_result = study.run_conventional(
+        RandomSampler(config.seed), m2td.cells, ranks
+    )
+    random_recovery = factor_recovery(random_result.tucker, reference)
+
+    report = ExperimentReport(
+        experiment_id="ext-subspace",
+        title="Extension: factor-subspace recovery vs ground truth "
+        "(affinity; 1 = perfect)",
+        headers=["mode", "M2TD-SELECT", "Random"],
+    )
+    mode_names = study.space.mode_names
+    # Report in original mode order.
+    m2td_by_mode = {
+        m2td.m2td.partition.join_modes[r.mode]: r for r in m2td_recovery
+    }
+    for mode in range(study.space.n_modes):
+        report.add_row(
+            mode_names[mode],
+            float(m2td_by_mode[mode].affinity),
+            float(random_recovery[mode].affinity),
+        )
+    report.add_row(
+        "(mean)",
+        float(np.mean([r.affinity for r in m2td_recovery])),
+        float(np.mean([r.affinity for r in random_recovery])),
+    )
+    return report

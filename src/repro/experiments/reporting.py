@@ -1,0 +1,61 @@
+"""Experiment report containers and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting: small accuracies in scientific
+    notation (matching the paper's tables), other floats to 4 digits."""
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.0e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(parts):
+        return "  ".join(str(p).rjust(w) for p, w in zip(parts, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = [line(headers), divider]
+    body.extend(line(row) for row in cells)
+    return "\n".join(body)
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced table/figure: metadata plus printable tables."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extra_tables: Dict[str, "ExperimentReport"] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for name, table in self.extra_tables.items():
+            parts.append("")
+            parts.append(f"-- {name} --")
+            parts.append(format_table(table.headers, table.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def as_dicts(self) -> List[Dict]:
+        return [dict(zip(self.headers, row)) for row in self.rows]

@@ -1,0 +1,97 @@
+"""Experiment registry: map experiment ids to their runners."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import ExperimentError
+from . import (
+    ext_adaptive,
+    ext_baselines,
+    ext_completion,
+    ext_multiway,
+    ext_noise,
+    ext_pendulum5,
+    ext_scaling,
+    ext_seeds,
+    ext_subspace,
+    figures,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .config import ExperimentConfig, StudyCache, default_config
+from .reporting import ExperimentReport
+
+logger = logging.getLogger(__name__)
+
+Runner = Callable[[ExperimentConfig, StudyCache], ExperimentReport]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "fig6": figures.run_fig6,
+    "fig-cost": figures.run_cost_amortisation,
+    "fig-budget": figures.run_budget_curve,
+    "ext-adaptive": ext_adaptive.run,
+    "ext-baselines": ext_baselines.run,
+    "ext-completion": ext_completion.run,
+    "ext-multiway": ext_multiway.run,
+    "ext-noise": ext_noise.run,
+    "ext-pendulum5": ext_pendulum5.run,
+    "ext-scaling": ext_scaling.run,
+    "ext-seeds": ext_seeds.run,
+    "ext-subspace": ext_subspace.run,
+}
+
+
+def available_experiments() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[StudyCache] = None,
+) -> ExperimentReport:
+    """Run one experiment by id (``table2`` ... ``fig-cost``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {available_experiments()}"
+        ) from None
+    started = time.perf_counter()
+    report = runner(config or default_config(), cache or StudyCache())
+    logger.info(
+        "experiment %s finished in %.1fs (%d rows)",
+        experiment_id,
+        time.perf_counter() - started,
+        len(report.rows),
+    )
+    return report
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, ExperimentReport]:
+    """Run every experiment, sharing one study cache."""
+    config = config or default_config()
+    cache = StudyCache()
+    return {
+        experiment_id: runner(config, cache)
+        for experiment_id, runner in EXPERIMENTS.items()
+    }

@@ -1,0 +1,40 @@
+"""Ensemble sampling: conventional schemes and PF-partitioning.
+
+``RandomSampler``/``GridSampler``/``SliceSampler`` are the paper's
+Section IV baselines; :class:`PFPartition`, :class:`PartitionBudget`
+and :func:`select_sub_ensembles` implement the partition-stitch
+sampling of Section V.
+"""
+
+from .base import Sampler, SampleSet, validate_budget
+from .budget import (
+    PartitionBudget,
+    budget_for_fractions,
+    effective_density_ratio,
+)
+from .grid_sampler import GridSampler, balanced_grid_counts, spread_indices
+from .lhs_sampler import LatinHypercubeSampler, lhs_round
+from .partition import PFPartition
+from .random_sampler import RandomSampler
+from .slice_sampler import SliceSampler, choose_free_modes
+from .sub_ensemble import SubEnsembleSelection, select_sub_ensembles
+
+__all__ = [
+    "Sampler",
+    "SampleSet",
+    "validate_budget",
+    "PartitionBudget",
+    "budget_for_fractions",
+    "effective_density_ratio",
+    "GridSampler",
+    "LatinHypercubeSampler",
+    "lhs_round",
+    "balanced_grid_counts",
+    "spread_indices",
+    "PFPartition",
+    "RandomSampler",
+    "SliceSampler",
+    "choose_free_modes",
+    "SubEnsembleSelection",
+    "select_sub_ensembles",
+]

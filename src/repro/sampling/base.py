@@ -1,0 +1,95 @@
+"""Sampler interface and the sample-set container.
+
+A sampler turns ``(tensor shape, budget B)`` into a set of cell
+coordinates — the simulations that will actually be executed.  The
+conventional schemes of paper Section IV (RANDOM, GRID, SLICE) and the
+partition-stitch scheme of Section V all implement this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import BudgetError, SamplingError
+
+
+@dataclass(frozen=True)
+class SampleSet:
+    """A set of selected tensor cells.
+
+    Attributes
+    ----------
+    shape:
+        The full tensor shape the coordinates index into.
+    coords:
+        Unique cell coordinates, shape ``(n, len(shape))``.
+    """
+
+    shape: Tuple[int, ...]
+    coords: np.ndarray
+
+    def __post_init__(self) -> None:
+        coords = np.asarray(self.coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise SamplingError(
+                f"coords must have shape (n, {len(self.shape)}), got "
+                f"{coords.shape}"
+            )
+        if coords.size:
+            upper = np.asarray(self.shape, dtype=np.int64)
+            if (coords < 0).any() or (coords >= upper).any():
+                raise SamplingError("sample coordinate out of bounds")
+            unique = np.unique(coords, axis=0)
+            if unique.shape[0] != coords.shape[0]:
+                object.__setattr__(self, "coords", unique)
+                return
+        object.__setattr__(self, "coords", coords)
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def density(self) -> float:
+        return self.n_cells / float(np.prod(self.shape))
+
+    def n_runs(self, time_mode: int) -> int:
+        """Distinct parameter combinations (simulation runs) selected."""
+        if self.n_cells == 0:
+            return 0
+        param_modes = [m for m in range(len(self.shape)) if m != time_mode]
+        return int(np.unique(self.coords[:, param_modes], axis=0).shape[0])
+
+
+def validate_budget(budget: int, shape: Sequence[int]) -> int:
+    """Check a cell budget against a tensor shape."""
+    budget = int(budget)
+    if budget < 1:
+        raise BudgetError(f"budget must be >= 1, got {budget}")
+    size = int(np.prod([int(s) for s in shape]))
+    if budget > size:
+        raise BudgetError(
+            f"budget {budget} exceeds the {size} cells of the space"
+        )
+    return budget
+
+
+class Sampler(ABC):
+    """Strategy that selects which cells of the space to simulate."""
+
+    #: Short name used in experiment reports ("Random", "Grid", ...).
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+        """Select *at most* ``budget`` cells of a tensor of ``shape``.
+
+        Implementations may return slightly fewer cells when the
+        scheme's structure cannot hit the budget exactly (e.g. a grid
+        whose stride does not divide the mode size); they must never
+        return more.
+        """

@@ -1,0 +1,33 @@
+"""RANDOM sampling (paper Section IV): budget cells drawn uniformly
+without replacement from the whole simulation space.
+
+The paper's worst-performing conventional baseline — the samples end
+up spread so thin that no mode fiber accumulates enough observations
+for the SVD steps to find structure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor.random import SeedLike, make_rng
+from .base import Sampler, SampleSet, validate_budget
+
+
+class RandomSampler(Sampler):
+    """Uniform cell sampling without replacement."""
+
+    name = "Random"
+
+    def __init__(self, seed: SeedLike = None):
+        self._rng = make_rng(seed)
+
+    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+        shape = tuple(int(s) for s in shape)
+        budget = validate_budget(budget, shape)
+        size = int(np.prod(shape))
+        flat = self._rng.choice(size, size=budget, replace=False)
+        coords = np.stack(np.unravel_index(flat, shape), axis=1)
+        return SampleSet(shape, coords)

@@ -1,0 +1,137 @@
+"""Selection of the two PF-partitioned sub-ensembles.
+
+Implements the ensemble-generation protocol of Section V-B: pick ``P``
+configurations of the pivot parameters (shared by both sub-ensembles —
+this is what makes them joinable) and ``E`` configurations of each
+sub-system's free parameters; each sub-ensemble is the cross product
+of the pivot and free selections, ``P * E`` cells.
+
+Matching the paper's evaluation ("to analyze worst case behavior, we
+sampled the sub-systems randomly"), the default selection is uniform
+random without replacement; fractions of 100% select everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from ..tensor.random import SeedLike, make_rng
+from .base import SampleSet
+from .budget import PartitionBudget
+from .partition import PFPartition
+
+
+def _select_configs(
+    space_shape: Tuple[int, ...],
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``count`` distinct index tuples from a product space, sorted.
+
+    Selecting everything returns the full enumeration (deterministic);
+    otherwise a uniform sample without replacement.
+    """
+    size = int(np.prod(space_shape))
+    if count > size:
+        raise SamplingError(
+            f"cannot select {count} configurations from a space of {size}"
+        )
+    if count == size:
+        flat = np.arange(size)
+    else:
+        flat = np.sort(rng.choice(size, size=count, replace=False))
+    return np.stack(np.unravel_index(flat, space_shape), axis=1)
+
+
+@dataclass(frozen=True)
+class SubEnsembleSelection:
+    """The concrete cells selected for both sub-ensembles.
+
+    Attributes
+    ----------
+    partition:
+        The PF-partition the selection lives in.
+    pivot_configs:
+        ``(P, k)`` pivot index tuples, shared by both sub-ensembles.
+    free1 / free2:
+        ``(E_i, |free modes|)`` free index tuples per sub-system.
+    """
+
+    partition: PFPartition
+    pivot_configs: np.ndarray
+    free1: np.ndarray
+    free2: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, array, width in (
+            ("pivot_configs", self.pivot_configs, self.partition.k),
+            ("free1", self.free1, len(self.partition.s1_free)),
+            ("free2", self.free2, len(self.partition.s2_free)),
+        ):
+            array = np.asarray(array, dtype=np.int64)
+            if array.ndim != 2 or array.shape[1] != width:
+                raise SamplingError(
+                    f"{name} must have shape (n, {width}), got {array.shape}"
+                )
+            object.__setattr__(self, name, array)
+
+    @property
+    def budget(self) -> PartitionBudget:
+        return PartitionBudget(
+            n_pivot=self.pivot_configs.shape[0],
+            n_free1=self.free1.shape[0],
+            n_free2=self.free2.shape[0],
+        )
+
+    def free_configs(self, which: int) -> np.ndarray:
+        if which == 1:
+            return self.free1
+        if which == 2:
+            return self.free2
+        raise SamplingError(f"sub-system must be 1 or 2, got {which}")
+
+    def sub_coords(self, which: int) -> np.ndarray:
+        """All selected cells of sub-ensemble ``which`` in *sub-space*
+        coordinates (pivot columns first, matching
+        ``PFPartition.sub_modes`` order): the P x E cross product."""
+        free = self.free_configs(which)
+        n_pivot = self.pivot_configs.shape[0]
+        n_free = free.shape[0]
+        pivots = np.repeat(self.pivot_configs, n_free, axis=0)
+        frees = np.tile(free, (n_pivot, 1))
+        return np.hstack([pivots, frees])
+
+    def full_coords(self, which: int) -> np.ndarray:
+        """Selected cells of sub-ensemble ``which`` in full-space
+        coordinates (frozen modes at their fixing constants)."""
+        return self.partition.embed_coords(which, self.sub_coords(which))
+
+    def union_sample_set(self) -> SampleSet:
+        """Both sub-ensembles as one full-space sample set — the
+        "union into a single tensor" strawman of Section I-C."""
+        coords = np.vstack([self.full_coords(1), self.full_coords(2)])
+        return SampleSet(self.partition.shape, coords)
+
+    def total_cells(self) -> int:
+        """Budget consumed (cells across both sub-ensembles)."""
+        return int(
+            self.pivot_configs.shape[0]
+            * (self.free1.shape[0] + self.free2.shape[0])
+        )
+
+
+def select_sub_ensembles(
+    partition: PFPartition,
+    budget: PartitionBudget,
+    seed: SeedLike = None,
+) -> SubEnsembleSelection:
+    """Randomly select pivot and free configurations per the budget."""
+    rng = make_rng(seed)
+    pivots = _select_configs(partition.pivot_shape, budget.n_pivot, rng)
+    free1 = _select_configs(partition.free_shape(1), budget.n_free1, rng)
+    free2 = _select_configs(partition.free_shape(2), budget.n_free2, rng)
+    return SubEnsembleSelection(partition, pivots, free1, free2)

@@ -1,0 +1,67 @@
+"""Dynamical-system simulation substrate.
+
+Provides the paper's three test systems (double pendulum, triple
+pendulum with friction, Lorenz), the ODE integrators that run them,
+discretized parameter spaces, the observed reference configuration,
+and the batched ensemble-tensor construction.
+"""
+
+from .double_pendulum import DoublePendulum
+from .double_pendulum_g import DoublePendulumG
+from .epidemic import EpidemicSEIR
+from .ensemble import (
+    SimulationMeter,
+    ensemble_from_truth,
+    full_space_tensor,
+    simulate_fibers,
+)
+from .integrators import euler, rk4, rk45, rk4_sampled
+from .lorenz import Lorenz
+from .observation import Observation, make_observation
+from .parameter_space import TIME_MODE, ParameterSpace
+from .systems import DynamicalSystem, ParameterDef
+from .triple_pendulum import TriplePendulum, chain_pendulum_derivative
+
+SYSTEMS = {
+    DoublePendulum.name: DoublePendulum,
+    DoublePendulumG.name: DoublePendulumG,
+    TriplePendulum.name: TriplePendulum,
+    Lorenz.name: Lorenz,
+    EpidemicSEIR.name: EpidemicSEIR,
+}
+
+
+def make_system(name: str) -> DynamicalSystem:
+    """Instantiate one of the paper's three systems by name."""
+    try:
+        return SYSTEMS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; available: {sorted(SYSTEMS)}"
+        ) from None
+
+
+__all__ = [
+    "DoublePendulum",
+    "DoublePendulumG",
+    "TriplePendulum",
+    "Lorenz",
+    "EpidemicSEIR",
+    "DynamicalSystem",
+    "ParameterDef",
+    "ParameterSpace",
+    "TIME_MODE",
+    "Observation",
+    "make_observation",
+    "SimulationMeter",
+    "ensemble_from_truth",
+    "full_space_tensor",
+    "simulate_fibers",
+    "euler",
+    "rk4",
+    "rk45",
+    "rk4_sampled",
+    "chain_pendulum_derivative",
+    "SYSTEMS",
+    "make_system",
+]

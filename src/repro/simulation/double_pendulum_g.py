@@ -1,0 +1,86 @@
+"""The intro's 5-parameter double pendulum: gravity as a parameter.
+
+Paper Figure 2 motivates the whole problem with a double equal-length
+pendulum whose *five* controllable parameters are the two initial
+angles, the two bob weights, and gravity ``g`` — leading to the
+``20^5`` simulation-space explosion of Section I-B.  The evaluation
+then freezes gravity; this subclass keeps it free, giving a 6-mode
+ensemble tensor ``(phi1, m1, phi2, m2, g, t)``.
+
+With six modes the PF-partitioning generalizes beyond the evaluated
+``k = 1``: two pivots (say ``g`` and ``t``) leave four free modes to
+split 2 + 2 — the multi-pivot regime exercised by
+``examples/five_parameter_pendulum.py`` and the k-sweep experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .double_pendulum import DoublePendulum
+from .systems import ParameterDef
+
+
+class DoublePendulumG(DoublePendulum):
+    """Double pendulum with gravity as the fifth simulation parameter."""
+
+    name = "double_pendulum_g"
+
+    def __init__(self, length: float = 1.0):
+        super().__init__(gravity=9.81, length=length)
+        self._parameters = (
+            ParameterDef("phi1", low=0.1, high=2.0, default=1.0),
+            ParameterDef("m1", low=0.5, high=3.0, default=1.0),
+            ParameterDef("phi2", low=0.1, high=2.0, default=1.0),
+            ParameterDef("m2", low=0.5, high=3.0, default=1.0),
+            ParameterDef("g", low=3.0, high=15.0, default=9.81),
+        )
+
+    @property
+    def parameters(self) -> Tuple[ParameterDef, ...]:
+        return self._parameters
+
+    def derivative(self, params: Dict[str, float]):
+        # Reuse the parent's closed-form RHS with per-run gravity.
+        bound = DoublePendulum(
+            gravity=float(params["g"]), length=self.length
+        )
+        return bound.derivative(params)
+
+    def batch_derivative(self, params: Dict[str, np.ndarray]):
+        m1 = np.asarray(params["m1"], dtype=np.float64)
+        m2 = np.asarray(params["m2"], dtype=np.float64)
+        g = np.asarray(params["g"], dtype=np.float64)
+        length = self.length
+
+        def deriv(_t: float, states: np.ndarray) -> np.ndarray:
+            theta1 = states[:, 0]
+            omega1 = states[:, 1]
+            theta2 = states[:, 2]
+            omega2 = states[:, 3]
+            delta = theta1 - theta2
+            cos_d = np.cos(delta)
+            sin_d = np.sin(delta)
+            denom = length * (2 * m1 + m2 - m2 * np.cos(2 * delta))
+            alpha1 = (
+                -g * (2 * m1 + m2) * np.sin(theta1)
+                - m2 * g * np.sin(theta1 - 2 * theta2)
+                - 2
+                * sin_d
+                * m2
+                * (omega2**2 * length + omega1**2 * length * cos_d)
+            ) / denom
+            alpha2 = (
+                2
+                * sin_d
+                * (
+                    omega1**2 * length * (m1 + m2)
+                    + g * (m1 + m2) * np.cos(theta1)
+                    + omega2**2 * length * m2 * cos_d
+                )
+            ) / denom
+            return np.stack([omega1, alpha1, omega2, alpha2], axis=1)
+
+        return deriv

@@ -1,0 +1,171 @@
+"""Ensemble construction: from parameter-index selections to tensors.
+
+Two cost vocabularies from the paper coexist here and must not be
+conflated:
+
+* a **simulation run** executes one parameter combination and yields
+  the *entire time fiber* of the ensemble tensor (the paper's
+  "2 x 70^2 simulations in just 46 seconds");
+* a **cell** (the paper's "simulation instance" when counting budgets)
+  is one ``(parameters, timestamp)`` entry of the tensor — the
+  simulation budget ``B`` counts cells.
+
+:class:`SimulationMeter` tracks both.  The ground-truth tensor ``Y``
+for accuracy evaluation is built once per (system, resolution) via
+:func:`full_space_tensor` using the batched integrator, and samplers
+then read their cells out of it — equivalent to running each selected
+simulation individually, at a fraction of the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..tensor.sparse import SparseTensor
+from .integrators import rk4_sampled
+from .observation import Observation
+from .parameter_space import ParameterSpace
+
+
+@dataclass
+class SimulationMeter:
+    """Accounting of simulation effort for one experiment.
+
+    Attributes
+    ----------
+    runs:
+        Distinct parameter combinations integrated.
+    cells:
+        Tensor cells filled (the paper's budget unit).
+    wall_seconds:
+        Time spent inside the integrator.
+    """
+
+    runs: int = 0
+    cells: int = 0
+    wall_seconds: float = 0.0
+
+    def charge(self, runs: int, cells: int, wall_seconds: float) -> None:
+        self.runs += int(runs)
+        self.cells += int(cells)
+        self.wall_seconds += float(wall_seconds)
+
+    def merge(self, other: "SimulationMeter") -> None:
+        self.charge(other.runs, other.cells, other.wall_seconds)
+
+
+def simulate_fibers(
+    space: ParameterSpace,
+    observation: Observation,
+    param_indices: np.ndarray,
+    meter: Optional[SimulationMeter] = None,
+) -> np.ndarray:
+    """Distances for a batch of parameter combinations.
+
+    Parameters
+    ----------
+    space:
+        The discretized simulation space.
+    observation:
+        The reference configuration distances are measured against.
+    param_indices:
+        Integer array of shape ``(B, n_params)``; one row per
+        simulation run.
+    meter:
+        Optional accounting sink (charged ``B`` runs and ``B * T``
+        cells).
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance fibers of shape ``(B, time_resolution)``.
+    """
+    param_indices = np.asarray(param_indices, dtype=np.int64)
+    if param_indices.ndim != 2 or param_indices.shape[1] != space.n_param_modes:
+        raise SimulationError(
+            f"param_indices must have shape (B, {space.n_param_modes}), "
+            f"got {param_indices.shape}"
+        )
+    system = space.system
+    params = space.batch_param_values(param_indices)
+    started = time.perf_counter()
+    deriv = system.batch_derivative(params)
+    y0 = system.batch_initial_state(params)
+    sampled = rk4_sampled(
+        deriv, y0, 0.0, system.t_end, system.n_steps, space.time_indices
+    )
+    elapsed = time.perf_counter() - started
+    distances = observation.distances(sampled)  # (T, B)
+    if meter is not None:
+        meter.charge(
+            runs=param_indices.shape[0],
+            cells=param_indices.shape[0] * space.time_resolution,
+            wall_seconds=elapsed,
+        )
+    return distances.T
+
+
+def full_space_tensor(
+    space: ParameterSpace,
+    observation: Observation,
+    chunk_size: int = 4096,
+    meter: Optional[SimulationMeter] = None,
+) -> np.ndarray:
+    """The complete ground-truth tensor ``Y`` (paper Section III-C).
+
+    Every parameter combination is simulated (in batched chunks) and
+    the per-timestamp distances to the observation fill a dense tensor
+    of shape ``space.shape``.
+    """
+    if chunk_size < 1:
+        raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+    n_params = space.n_param_modes
+    resolution = space.resolution
+    total = space.n_simulations_full
+    tensor = np.empty(space.shape, dtype=np.float64)
+    flat_view = tensor.reshape(total, space.time_resolution)
+    all_indices = np.stack(
+        np.unravel_index(np.arange(total), (resolution,) * n_params), axis=1
+    )
+    for start in range(0, total, chunk_size):
+        block = all_indices[start : start + chunk_size]
+        flat_view[start : start + block.shape[0]] = simulate_fibers(
+            space, observation, block, meter=meter
+        )
+    return tensor
+
+
+def ensemble_from_truth(
+    truth: np.ndarray,
+    space: ParameterSpace,
+    coords: np.ndarray,
+    meter: Optional[SimulationMeter] = None,
+) -> SparseTensor:
+    """Sparse ensemble tensor for selected cells, read from ``Y``.
+
+    ``coords`` is an ``(nnz, n_modes)`` cell coordinate array (full
+    tensor coordinates, time mode included).  The meter — when given —
+    is charged the number of *distinct parameter combinations* as runs
+    and ``nnz`` as cells, mirroring what executing exactly these
+    simulations would have cost.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2 or coords.shape[1] != space.n_modes:
+        raise SimulationError(
+            f"coords must have shape (nnz, {space.n_modes}), got {coords.shape}"
+        )
+    if truth.shape != space.shape:
+        raise SimulationError(
+            f"truth shape {truth.shape} != space shape {space.shape}"
+        )
+    values = truth[tuple(coords.T)]
+    if meter is not None:
+        param_part = coords[:, : space.n_param_modes]
+        distinct_runs = np.unique(param_part, axis=0).shape[0] if coords.size else 0
+        meter.charge(runs=distinct_runs, cells=coords.shape[0], wall_seconds=0.0)
+    return SparseTensor(space.shape, coords, values)

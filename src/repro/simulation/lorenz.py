@@ -1,0 +1,95 @@
+"""The Lorenz system (Section VII-A).
+
+    dx/dt = sigma * (y - x)
+    dy/dt = x * (rho - z) - y
+    dz/dt = x * y - beta * z
+
+Simulation parameters match the paper: the initial ``z`` coordinate
+``z0`` and the three system parameters ``sigma``, ``beta``, ``rho``.
+The classic chaotic regime (sigma=10, beta=8/3, rho=28) sits at the
+parameter defaults, so ensembles straddle both chaotic and
+non-chaotic behaviour.
+
+State vector: ``(x, y, z)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .systems import DynamicalSystem, ParameterDef
+
+
+class Lorenz(DynamicalSystem):
+    """Lorenz '63 convection model with a variable initial height."""
+
+    name = "lorenz"
+    # Short horizon: Lorenz trajectories decorrelate exponentially
+    # fast in the chaotic regime the parameter ranges straddle.
+    t_end = 1.0
+    n_steps = 400
+
+    def __init__(self, x0: float = 1.0, y0: float = 1.0):
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self._parameters = (
+            ParameterDef("z0", low=0.5, high=30.0, default=15.0),
+            ParameterDef("sigma", low=5.0, high=15.0, default=10.0),
+            ParameterDef("beta", low=1.0, high=4.0, default=8.0 / 3.0),
+            ParameterDef("rho", low=20.0, high=40.0, default=28.0),
+        )
+
+    @property
+    def parameters(self) -> Tuple[ParameterDef, ...]:
+        return self._parameters
+
+    def initial_state(self, params: Dict[str, float]) -> np.ndarray:
+        return np.array([self.x0, self.y0, params["z0"]])
+
+    def derivative(
+        self, params: Dict[str, float]
+    ) -> Callable[[float, np.ndarray], np.ndarray]:
+        sigma = float(params["sigma"])
+        beta = float(params["beta"])
+        rho = float(params["rho"])
+
+        def deriv(_t: float, state: np.ndarray) -> np.ndarray:
+            x, y, z = state
+            return np.array(
+                [
+                    sigma * (y - x),
+                    x * (rho - z) - y,
+                    x * y - beta * z,
+                ]
+            )
+
+        return deriv
+
+    def batch_initial_state(self, params: Dict[str, np.ndarray]) -> np.ndarray:
+        z0 = np.asarray(params["z0"], dtype=np.float64)
+        return np.stack(
+            [np.full_like(z0, self.x0), np.full_like(z0, self.y0), z0],
+            axis=1,
+        )
+
+    def batch_derivative(self, params: Dict[str, np.ndarray]):
+        sigma = np.asarray(params["sigma"], dtype=np.float64)
+        beta = np.asarray(params["beta"], dtype=np.float64)
+        rho = np.asarray(params["rho"], dtype=np.float64)
+
+        def deriv(_t: float, states: np.ndarray) -> np.ndarray:
+            x = states[:, 0]
+            y = states[:, 1]
+            z = states[:, 2]
+            return np.stack(
+                [
+                    sigma * (y - x),
+                    x * (rho - z) - y,
+                    x * y - beta * z,
+                ],
+                axis=1,
+            )
+
+        return deriv

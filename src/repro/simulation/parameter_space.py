@@ -1,0 +1,158 @@
+"""Discretized parameter spaces: from a dynamical system to tensor modes.
+
+The ensemble tensor of a system with ``N`` simulation parameters has
+``N + 1`` modes: one per parameter (each discretized to ``resolution``
+equally spaced values over its plausible range) plus a trailing *time*
+mode (``resolution`` samples read off each trajectory).  This module
+owns the index <-> value mapping for those modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModeError, SimulationError
+from .systems import DynamicalSystem
+
+#: Name used for the trailing time mode in reports and pivot selection.
+TIME_MODE = "t"
+
+
+@dataclass
+class ParameterSpace:
+    """The discretized simulation space of one dynamical system.
+
+    Parameters
+    ----------
+    system:
+        The dynamical system being studied.
+    resolution:
+        Number of distinct values per parameter mode (the paper sweeps
+        60-80; the scaled harness uses 8-14).
+    time_resolution:
+        Number of time samples (defaults to ``resolution``, giving the
+        paper's uniform ``R^5`` simulation space).
+    """
+
+    system: DynamicalSystem
+    resolution: int
+    time_resolution: int = None  # type: ignore[assignment]
+    _grids: Tuple[np.ndarray, ...] = field(init=False, repr=False)
+    _time_indices: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.resolution < 2:
+            raise SimulationError(
+                f"resolution must be >= 2, got {self.resolution}"
+            )
+        if self.time_resolution is None:
+            self.time_resolution = self.resolution
+        if self.time_resolution < 2:
+            raise SimulationError(
+                f"time_resolution must be >= 2, got {self.time_resolution}"
+            )
+        self._grids = tuple(
+            p.grid(self.resolution) for p in self.system.parameters
+        )
+        self._time_indices = self.system.time_grid(self.time_resolution)
+
+    # ------------------------------------------------------------------
+    # mode geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_param_modes(self) -> int:
+        return self.system.n_parameters
+
+    @property
+    def n_modes(self) -> int:
+        """Parameter modes plus the time mode."""
+        return self.n_param_modes + 1
+
+    @property
+    def time_mode(self) -> int:
+        """Index of the time mode (always the last mode)."""
+        return self.n_param_modes
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return (self.resolution,) * self.n_param_modes + (self.time_resolution,)
+
+    @property
+    def mode_names(self) -> Tuple[str, ...]:
+        return self.system.parameter_names + (TIME_MODE,)
+
+    def mode_index(self, name: str) -> int:
+        """Mode index of a parameter (or time) by name."""
+        try:
+            return self.mode_names.index(name)
+        except ValueError:
+            raise ModeError(
+                f"unknown mode {name!r}; valid modes: {self.mode_names}"
+            ) from None
+
+    @property
+    def n_simulations_full(self) -> int:
+        """Simulation *runs* needed to fill the whole space.
+
+        One run fills an entire time fiber, so this is the number of
+        parameter-index combinations, ``resolution ** n_params``.
+        """
+        return self.resolution**self.n_param_modes
+
+    @property
+    def n_cells_full(self) -> int:
+        return int(np.prod(self.shape))
+
+    # ------------------------------------------------------------------
+    # index <-> value mapping
+    # ------------------------------------------------------------------
+    def grid(self, mode: int) -> np.ndarray:
+        """The value grid of a parameter mode."""
+        if not 0 <= mode < self.n_param_modes:
+            raise ModeError(
+                f"mode {mode} is not a parameter mode "
+                f"(parameter modes are 0..{self.n_param_modes - 1})"
+            )
+        return self._grids[mode]
+
+    @property
+    def time_indices(self) -> np.ndarray:
+        """Trajectory-step index of each time-mode sample."""
+        return self._time_indices
+
+    def params_from_indices(self, indices: Sequence[int]) -> Dict[str, float]:
+        """Map parameter-mode indices to a concrete parameter dict."""
+        if len(indices) != self.n_param_modes:
+            raise ModeError(
+                f"need {self.n_param_modes} parameter indices, got {len(indices)}"
+            )
+        return {
+            name: float(self._grids[mode][int(index)])
+            for mode, (name, index) in enumerate(
+                zip(self.system.parameter_names, indices)
+            )
+        }
+
+    def param_index_combinations(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate all parameter-index combinations (C order)."""
+        return (
+            tuple(combo)
+            for combo in np.ndindex(*(self.resolution,) * self.n_param_modes)
+        )
+
+    def batch_param_values(self, index_array: np.ndarray) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`params_from_indices` for a ``(B, n_params)``
+        integer index array — used by the batched simulator."""
+        index_array = np.asarray(index_array, dtype=np.int64)
+        if index_array.ndim != 2 or index_array.shape[1] != self.n_param_modes:
+            raise ModeError(
+                f"expected a (B, {self.n_param_modes}) index array, "
+                f"got shape {index_array.shape}"
+            )
+        return {
+            name: self._grids[mode][index_array[:, mode]]
+            for mode, name in enumerate(self.system.parameter_names)
+        }

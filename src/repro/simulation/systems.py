@@ -1,0 +1,166 @@
+"""The dynamical-system abstraction shared by all three test systems.
+
+A :class:`DynamicalSystem` exposes (a) a named, ordered set of
+*simulation parameters* (the tensor modes besides time), (b) the ODE
+right-hand side for a given parameter assignment, and (c) how to build
+the initial state vector.  The ensemble machinery only talks to this
+interface, so adding a fourth system means writing one subclass.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .integrators import rk4
+
+
+@dataclass(frozen=True)
+class ParameterDef:
+    """One simulation parameter: a name and its plausible value range.
+
+    ``low``/``high`` bound the grid the ensemble machinery discretizes
+    (the paper's "resolution" is the number of distinct values per
+    parameter); ``default`` is the PF-partitioning *fixing constant*
+    used when the parameter is frozen in a sub-system (Section V-B).
+    """
+
+    name: str
+    low: float
+    high: float
+    default: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise SimulationError(
+                f"parameter {self.name}: low {self.low} must be < high {self.high}"
+            )
+        if not self.low <= self.default <= self.high:
+            raise SimulationError(
+                f"parameter {self.name}: default {self.default} outside "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def grid(self, resolution: int) -> np.ndarray:
+        """``resolution`` equally spaced values over ``[low, high]``."""
+        if resolution < 1:
+            raise SimulationError(f"resolution must be >= 1, got {resolution}")
+        if resolution == 1:
+            return np.array([self.default])
+        return np.linspace(self.low, self.high, resolution)
+
+
+class DynamicalSystem(ABC):
+    """Base class for the simulated complex systems (Section VII-A)."""
+
+    #: Human-readable system name (used in reports).
+    name: str = "abstract"
+
+    #: Simulation time horizon; trajectories run over [0, t_end].
+    t_end: float = 10.0
+
+    #: Fixed-step RK4 steps per simulation run (time-mode samples are
+    #: read off this trajectory).
+    n_steps: int = 200
+
+    @property
+    @abstractmethod
+    def parameters(self) -> Tuple[ParameterDef, ...]:
+        """Ordered simulation parameters (tensor modes before time)."""
+
+    @abstractmethod
+    def derivative(
+        self, params: Dict[str, float]
+    ) -> Callable[[float, np.ndarray], np.ndarray]:
+        """ODE right-hand side for a concrete parameter assignment."""
+
+    @abstractmethod
+    def initial_state(self, params: Dict[str, float]) -> np.ndarray:
+        """Initial state vector for a concrete parameter assignment."""
+
+    # ------------------------------------------------------------------
+    @property
+    def n_parameters(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.parameters)
+
+    def default_params(self) -> Dict[str, float]:
+        """All parameters at their fixing-constant defaults."""
+        return {p.name: p.default for p in self.parameters}
+
+    def resolve(self, values: Sequence[float]) -> Dict[str, float]:
+        """Zip a value vector with the parameter names, validating length."""
+        if len(values) != self.n_parameters:
+            raise SimulationError(
+                f"{self.name} takes {self.n_parameters} parameters, "
+                f"got {len(values)}"
+            )
+        return dict(zip(self.parameter_names, (float(v) for v in values)))
+
+    def simulate(self, params: Dict[str, float]) -> np.ndarray:
+        """Run one simulation; returns states of shape
+        ``(n_steps + 1, state_dim)`` on the uniform time grid."""
+        missing = set(self.parameter_names) - set(params)
+        if missing:
+            raise SimulationError(
+                f"{self.name}: missing parameters {sorted(missing)}"
+            )
+        deriv = self.derivative(params)
+        y0 = self.initial_state(params)
+        _times, states = rk4(deriv, y0, 0.0, self.t_end, self.n_steps)
+        return states
+
+    # ------------------------------------------------------------------
+    # batched interface (vectorized over many parameter assignments)
+    # ------------------------------------------------------------------
+    def batch_initial_state(self, params: Dict[str, np.ndarray]) -> np.ndarray:
+        """Initial states for a batch of parameter assignments.
+
+        ``params`` maps each parameter name to a length-``B`` array;
+        returns a ``(B, state_dim)`` array.  The default implementation
+        loops over :meth:`initial_state`; systems override it with a
+        vectorized version.
+        """
+        batch = len(next(iter(params.values())))
+        rows = [
+            self.initial_state({k: float(v[i]) for k, v in params.items()})
+            for i in range(batch)
+        ]
+        return np.stack(rows)
+
+    def batch_derivative(
+        self, params: Dict[str, np.ndarray]
+    ) -> Callable[[float, np.ndarray], np.ndarray]:
+        """ODE right-hand side over a ``(B, state_dim)`` state batch.
+
+        The default loops over :meth:`derivative`; systems override it.
+        Batched evaluation is what makes constructing the full-space
+        ground-truth tensor (R^4 simulation runs) tractable.
+        """
+        batch = len(next(iter(params.values())))
+        derivs = [
+            self.derivative({k: float(v[i]) for k, v in params.items()})
+            for i in range(batch)
+        ]
+
+        def deriv(t: float, states: np.ndarray) -> np.ndarray:
+            return np.stack([d(t, states[i]) for i, d in enumerate(derivs)])
+
+        return deriv
+
+    def time_grid(self, resolution: int) -> np.ndarray:
+        """Indices into the trajectory for ``resolution`` time samples.
+
+        The time mode of the ensemble tensor has ``resolution`` cells;
+        they are spread evenly over the (finer) integration grid.
+        """
+        if resolution < 1:
+            raise SimulationError(f"resolution must be >= 1, got {resolution}")
+        return np.linspace(0, self.n_steps, resolution).round().astype(int)

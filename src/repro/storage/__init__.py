@@ -1,0 +1,23 @@
+"""Block-based sparse tensor storage (TensorDB-style substrate)."""
+
+from .blocks import (
+    BlockedLayout,
+    BlockId,
+    assemble_from_blocks,
+    split_into_blocks,
+)
+from .catalog import Catalog, TensorEntry
+from .models import load_tucker, save_tucker
+from .store import BlockTensorStore
+
+__all__ = [
+    "BlockedLayout",
+    "BlockId",
+    "assemble_from_blocks",
+    "split_into_blocks",
+    "Catalog",
+    "TensorEntry",
+    "load_tucker",
+    "save_tucker",
+    "BlockTensorStore",
+]

@@ -1,0 +1,147 @@
+"""Hyper-rectangular blocking of sparse tensors.
+
+The paper's related work (TensorDB [17], [22]) stores tensors as
+chunked blocks so that decomposition operators touch only the blocks
+they need.  Our store uses the same layout: the index space is tiled
+by a fixed ``block_shape``; each non-empty tile holds its cells in
+*local* coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import StorageError
+from ..tensor.sparse import SparseTensor
+
+BlockId = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlockedLayout:
+    """Geometry of a blocked tensor.
+
+    Attributes
+    ----------
+    shape:
+        Full tensor shape.
+    block_shape:
+        Tile extent per mode (the last tile of a mode may be ragged).
+    """
+
+    shape: Tuple[int, ...]
+    block_shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        block_shape = tuple(int(b) for b in self.block_shape)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "block_shape", block_shape)
+        if len(block_shape) != len(shape):
+            raise StorageError(
+                f"block shape {block_shape} order != tensor order {len(shape)}"
+            )
+        if any(b < 1 for b in block_shape):
+            raise StorageError(f"block extents must be >= 1, got {block_shape}")
+
+    @property
+    def grid_shape(self) -> Tuple[int, ...]:
+        """Number of tiles per mode."""
+        return tuple(
+            -(-s // b) for s, b in zip(self.shape, self.block_shape)
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return int(np.prod(self.grid_shape))
+
+    def block_of(self, coords: np.ndarray) -> np.ndarray:
+        """Block id (per row) of full-space coordinates."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.int64))
+        return coords // np.asarray(self.block_shape, dtype=np.int64)
+
+    def block_origin(self, block_id: BlockId) -> np.ndarray:
+        return np.asarray(block_id, dtype=np.int64) * np.asarray(
+            self.block_shape, dtype=np.int64
+        )
+
+    def block_extent(self, block_id: BlockId) -> Tuple[int, ...]:
+        """Actual extent of a (possibly ragged, edge) block."""
+        origin = self.block_origin(block_id)
+        return tuple(
+            int(min(b, s - o))
+            for b, s, o in zip(self.block_shape, self.shape, origin)
+        )
+
+    def blocks_touching_slice(self, mode: int, index: int) -> Iterator[BlockId]:
+        """Block ids intersecting the hyperplane ``mode = index``."""
+        if not 0 <= mode < len(self.shape):
+            raise StorageError(f"mode {mode} out of range")
+        if not 0 <= index < self.shape[mode]:
+            raise StorageError(f"index {index} out of range for mode {mode}")
+        target = index // self.block_shape[mode]
+        for block in np.ndindex(*self.grid_shape):
+            if block[mode] == target:
+                yield tuple(int(b) for b in block)
+
+
+def split_into_blocks(
+    tensor: SparseTensor, layout: BlockedLayout
+) -> Dict[BlockId, SparseTensor]:
+    """Partition a sparse tensor's cells into per-block tensors.
+
+    Each block tensor uses *local* coordinates relative to the block
+    origin and the (possibly ragged) block extent as its shape; empty
+    blocks are omitted.
+    """
+    if tensor.shape != layout.shape:
+        raise StorageError(
+            f"tensor shape {tensor.shape} != layout shape {layout.shape}"
+        )
+    blocks: Dict[BlockId, SparseTensor] = {}
+    if tensor.nnz == 0:
+        return blocks
+    block_ids = layout.block_of(tensor.coords)
+    flat = np.ravel_multi_index(tuple(block_ids.T), layout.grid_shape)
+    order = np.argsort(flat, kind="stable")
+    flat_sorted = flat[order]
+    coords_sorted = tensor.coords[order]
+    values_sorted = tensor.values[order]
+    boundaries = np.flatnonzero(np.diff(flat_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [flat_sorted.shape[0]]])
+    for start, end in zip(starts, ends):
+        block_id = tuple(
+            int(i)
+            for i in np.unravel_index(flat_sorted[start], layout.grid_shape)
+        )
+        origin = layout.block_origin(block_id)
+        local = coords_sorted[start:end] - origin[None, :]
+        blocks[block_id] = SparseTensor(
+            layout.block_extent(block_id), local, values_sorted[start:end]
+        )
+    return blocks
+
+
+def assemble_from_blocks(
+    layout: BlockedLayout, blocks: Dict[BlockId, SparseTensor]
+) -> SparseTensor:
+    """Inverse of :func:`split_into_blocks`."""
+    coords_parts = []
+    values_parts = []
+    for block_id, block in blocks.items():
+        if block.nnz == 0:
+            continue
+        origin = layout.block_origin(block_id)
+        coords_parts.append(block.coords + origin[None, :])
+        values_parts.append(block.values)
+    if not coords_parts:
+        return SparseTensor(layout.shape)
+    return SparseTensor(
+        layout.shape,
+        np.vstack(coords_parts),
+        np.concatenate(values_parts),
+    )

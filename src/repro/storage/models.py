@@ -1,0 +1,78 @@
+"""Persisting fitted decompositions next to their ensembles.
+
+A study samples once and analyses many times; the fitted Tucker
+models deserve the same on-disk treatment as the ensemble tensors.
+``save_tucker``/``load_tucker`` round-trip a
+:class:`~repro.tensor.tucker.TuckerTensor` (core + factors + optional
+metadata) through a single compressed ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import StorageError
+from ..tensor.tucker import TuckerTensor
+
+_FORMAT_VERSION = 1
+
+
+def save_tucker(
+    path,
+    tucker: TuckerTensor,
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write a Tucker model (and JSON-serializable metadata) to disk."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        meta_json = json.dumps(
+            {"version": _FORMAT_VERSION, "user": metadata or {}}
+        )
+    except TypeError as exc:
+        raise StorageError(
+            f"model metadata is not JSON-serializable: {exc}"
+        ) from exc
+    arrays = {"core": tucker.core, "meta": np.array(meta_json)}
+    for mode, factor in enumerate(tucker.factors):
+        arrays[f"factor_{mode}"] = factor
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_tucker(path) -> Tuple[TuckerTensor, Dict]:
+    """Read a Tucker model saved by :func:`save_tucker`.
+
+    Returns ``(model, metadata)``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no model file at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta_raw = str(data["meta"])
+            core = data["core"]
+            factors = []
+            mode = 0
+            while f"factor_{mode}" in data:
+                factors.append(data[f"factor_{mode}"])
+                mode += 1
+    except (OSError, KeyError, ValueError) as exc:
+        raise StorageError(f"cannot read model {path}: {exc}") from exc
+    try:
+        meta = json.loads(meta_raw)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt model metadata in {path}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported model format version {meta.get('version')!r}"
+        )
+    if not factors:
+        raise StorageError(f"model {path} holds no factor matrices")
+    return TuckerTensor(core, factors), meta.get("user", {})

@@ -1,0 +1,76 @@
+"""Dense-tensor convenience helpers.
+
+Dense tensors in this library are plain ``numpy.ndarray`` objects; the
+functions here add the handful of operations the rest of the code
+needs beyond raw numpy (mode statistics, normalization, masking
+against a sparse observation pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .sparse import SparseTensor
+from .unfold import check_mode
+
+
+def as_tensor(data, ndim: int = None) -> np.ndarray:
+    """Coerce to a float64 ndarray, optionally checking the mode count."""
+    tensor = np.asarray(data, dtype=np.float64)
+    if ndim is not None and tensor.ndim != ndim:
+        raise ShapeError(f"expected a {ndim}-mode tensor, got {tensor.ndim}")
+    return tensor
+
+
+def mode_means(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mean over all modes except ``mode`` — one value per mode index."""
+    tensor = as_tensor(tensor)
+    mode = check_mode(tensor.ndim, mode)
+    axes = tuple(a for a in range(tensor.ndim) if a != mode)
+    return tensor.mean(axis=axes)
+
+
+def normalize(tensor: np.ndarray) -> np.ndarray:
+    """Scale to unit Frobenius norm (zero tensors pass through)."""
+    tensor = as_tensor(tensor)
+    norm = np.linalg.norm(tensor.ravel())
+    if norm == 0:
+        return tensor.copy()
+    return tensor / norm
+
+
+def mask_like(dense: np.ndarray, pattern: SparseTensor) -> SparseTensor:
+    """Sample ``dense`` at the stored coordinates of ``pattern``.
+
+    This is how experiment code turns the ground-truth full-space
+    tensor ``Y`` into the sparse ensemble tensor ``X`` for a chosen
+    sample set: same coordinates, values read from ``Y``.
+    """
+    dense = as_tensor(dense)
+    if dense.shape != pattern.shape:
+        raise ShapeError(
+            f"dense shape {dense.shape} != pattern shape {pattern.shape}"
+        )
+    if pattern.nnz == 0:
+        return SparseTensor(pattern.shape)
+    values = dense[tuple(pattern.coords.T)]
+    return SparseTensor(pattern.shape, pattern.coords.copy(), values)
+
+
+def pad_to_shape(tensor: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Zero-pad a tensor up to ``shape`` (each mode can only grow)."""
+    tensor = as_tensor(tensor)
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != tensor.ndim:
+        raise ShapeError("pad_to_shape cannot change the number of modes")
+    for current, target in zip(tensor.shape, shape):
+        if target < current:
+            raise ShapeError(
+                f"target shape {shape} smaller than tensor shape {tensor.shape}"
+            )
+    padded = np.zeros(shape, dtype=np.float64)
+    padded[tuple(slice(0, s) for s in tensor.shape)] = tensor
+    return padded

@@ -1,0 +1,142 @@
+"""Incremental truncated SVD updates (row and column appends).
+
+Simulation ensembles grow: a running study appends new time samples
+(new pivot slices) to its sub-ensembles.  Re-running the SVD of every
+matricization from scratch wastes the work already done; the classic
+Brand-style update folds new rows/columns into an existing truncated
+SVD at ``O((r + c)^2 (m + n))`` cost instead of a fresh
+``O(m n min(m, n))``.
+
+Used by :mod:`repro.core.incremental` (time-incremental M2TD).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import RankError, ShapeError
+from .svd import sign_flip_mask
+
+SvdTriple = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _validate(u: np.ndarray, s: np.ndarray, vt: np.ndarray) -> None:
+    if u.ndim != 2 or vt.ndim != 2 or s.ndim != 1:
+        raise ShapeError("u/vt must be matrices and s a vector")
+    if u.shape[1] != s.shape[0] or vt.shape[0] != s.shape[0]:
+        raise ShapeError(
+            f"inconsistent SVD triple: u {u.shape}, s {s.shape}, "
+            f"vt {vt.shape}"
+        )
+
+
+def _fix_signs(u: np.ndarray, vt: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    flip = sign_flip_mask(u)
+    u = np.array(u, copy=True)
+    vt = np.array(vt, copy=True)
+    u[:, flip] *= -1.0
+    vt[flip, :] *= -1.0
+    return u, vt
+
+
+def append_rows(
+    u: np.ndarray,
+    s: np.ndarray,
+    vt: np.ndarray,
+    rows: np.ndarray,
+    rank: int,
+) -> SvdTriple:
+    """Update ``X = U diag(s) Vt`` to the SVD of ``[X; rows]``.
+
+    Parameters
+    ----------
+    u, s, vt:
+        Current (possibly truncated) SVD of the ``m x n`` matrix.
+    rows:
+        New rows, shape ``(c, n)``.
+    rank:
+        Target rank of the updated factorization (clipped to what the
+        updated matrix supports).
+
+    Returns
+    -------
+    (u', s', vt')
+        Truncated SVD of the row-augmented matrix.  Exact when the
+        current triple is exact; otherwise the best update within the
+        retained subspace.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64).ravel()
+    vt = np.asarray(vt, dtype=np.float64)
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    _validate(u, s, vt)
+    if rows.shape[1] != vt.shape[1]:
+        raise ShapeError(
+            f"new rows have {rows.shape[1]} columns, matrix has "
+            f"{vt.shape[1]}"
+        )
+    rank = int(rank)
+    if rank < 1:
+        raise RankError(f"rank must be >= 1, got {rank}")
+    r = s.shape[0]
+    c = rows.shape[0]
+    # Project new rows onto the current right space; orthogonalize the
+    # out-of-subspace residual.
+    projection = rows @ vt.T  # (c, r)
+    residual = rows - projection @ vt  # (c, n)
+    q_basis, r_tri = np.linalg.qr(residual.T)  # (n, q), (q, c)
+    # Drop numerically-null residual directions (q = min(n, c) QR
+    # columns; direction j is null when its R row is ~zero).
+    row_norms = np.linalg.norm(r_tri, axis=1)
+    keep = row_norms > 1e-12 * max(1.0, float(np.abs(s).max(initial=0.0)))
+    q_basis = q_basis[:, keep]
+    extra = int(keep.sum())
+    middle = np.zeros((r + c, r + extra))
+    middle[:r, :r] = np.diag(s)
+    middle[r:, :r] = projection
+    if extra:
+        middle[r:, r:] = residual @ q_basis
+    mu, ms, mvt = np.linalg.svd(middle, full_matrices=False)
+    new_rank = min(rank, ms.shape[0], u.shape[0] + c, vt.shape[1])
+    mu, ms, mvt = mu[:, :new_rank], ms[:new_rank], mvt[:new_rank]
+    left = np.zeros((u.shape[0] + c, r + c))
+    left[: u.shape[0], :r] = u
+    left[u.shape[0] :, r:] = np.eye(c)
+    right = np.hstack([vt.T, q_basis]) if extra else vt.T
+    u_new = left @ mu
+    vt_new = (right @ mvt.T).T
+    u_new, vt_new = _fix_signs(u_new, vt_new)
+    return u_new, ms, vt_new
+
+
+def append_cols(
+    u: np.ndarray,
+    s: np.ndarray,
+    vt: np.ndarray,
+    cols: np.ndarray,
+    rank: int,
+) -> SvdTriple:
+    """Update ``X = U diag(s) Vt`` to the SVD of ``[X, cols]``.
+
+    ``cols`` has shape ``(m, c)``.  Implemented as the transpose dual
+    of :func:`append_rows`.
+    """
+    cols = np.atleast_2d(np.asarray(cols, dtype=np.float64))
+    if cols.shape[0] != np.asarray(u).shape[0]:
+        raise ShapeError(
+            f"new columns have {cols.shape[0]} rows, matrix has "
+            f"{np.asarray(u).shape[0]}"
+        )
+    vt_t, s_new, u_t = append_rows(
+        np.asarray(vt).T, s, np.asarray(u).T, cols.T, rank
+    )
+    return u_t.T, s_new, vt_t.T
+
+
+def exact_svd(matrix: np.ndarray, rank: int) -> SvdTriple:
+    """Fresh truncated SVD in the same triple format (test helper)."""
+    from .svd import truncated_svd
+
+    return truncated_svd(np.asarray(matrix, dtype=np.float64), rank)

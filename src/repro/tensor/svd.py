@@ -1,0 +1,113 @@
+"""Deterministic truncated SVD for dense and sparse matricizations.
+
+Every factor matrix in this library (HOSVD, HOOI, all three M2TD
+variants) comes out of :func:`leading_left_singular_vectors`, so the
+sign convention and the dense/sparse dispatch live in exactly one
+place.
+
+Determinism matters more here than in a generic linear-algebra
+library: M2TD-AVG *averages* factor matrices from two independent
+decompositions and ROW_SELECT compares their rows, so a random sign
+flip between the two would silently corrupt the stitched factors.
+We therefore normalize each singular vector so that its entry of
+largest magnitude is positive.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+import scipy.sparse as sps
+import scipy.sparse.linalg as spla
+
+from ..exceptions import RankError
+
+MatrixLike = Union[np.ndarray, sps.spmatrix]
+
+
+def sign_flip_mask(basis: np.ndarray) -> np.ndarray:
+    """Boolean mask of columns whose largest-|entry| is negative."""
+    if basis.size == 0:
+        return np.zeros(basis.shape[1], dtype=bool)
+    pivot_rows = np.abs(basis).argmax(axis=0)
+    pivots = basis[pivot_rows, np.arange(basis.shape[1])]
+    return pivots < 0
+
+
+def deterministic_signs(basis: np.ndarray) -> np.ndarray:
+    """Flip column signs so the largest-|entry| of each column is positive.
+
+    Columns that are entirely zero are left untouched.
+    """
+    basis = np.array(basis, dtype=np.float64, copy=True)
+    flip = sign_flip_mask(basis)
+    basis[:, flip] *= -1.0
+    return basis
+
+
+def _validate_rank(matrix_shape: Tuple[int, int], rank: int) -> int:
+    rank = int(rank)
+    if rank < 1:
+        raise RankError(f"rank must be >= 1, got {rank}")
+    max_rank = min(matrix_shape)
+    if rank > max_rank:
+        raise RankError(
+            f"rank {rank} exceeds max rank {max_rank} of a "
+            f"{matrix_shape[0]}x{matrix_shape[1]} matrix"
+        )
+    return rank
+
+
+def truncated_svd(
+    matrix: MatrixLike, rank: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``rank`` truncated SVD with deterministic signs.
+
+    Returns ``(U, s, Vt)`` with ``U`` of shape ``(m, rank)``, singular
+    values sorted in decreasing order, and signs normalized jointly on
+    ``U``/``Vt`` so that ``U @ diag(s) @ Vt`` still reconstructs the
+    input.  Sparse inputs use ``scipy.sparse.linalg.svds`` when the
+    requested rank is strictly below ``min(shape)``; otherwise (or for
+    small matrices) the input is densified and LAPACK is used —
+    ``svds`` cannot compute a full spectrum.
+    """
+    rank = _validate_rank(matrix.shape, rank)
+    is_sparse = sps.issparse(matrix)
+    small = min(matrix.shape) <= 32
+    if is_sparse and not small and rank < min(matrix.shape):
+        # v0 fixed for determinism of the underlying Lanczos iteration.
+        v0 = np.ones(min(matrix.shape), dtype=np.float64)
+        u, s, vt = spla.svds(matrix.astype(np.float64), k=rank, v0=v0)
+        order = np.argsort(s)[::-1]
+        u, s, vt = u[:, order], s[order], vt[order]
+    else:
+        dense = matrix.toarray() if is_sparse else np.asarray(matrix, dtype=np.float64)
+        u, s, vt = np.linalg.svd(dense, full_matrices=False)
+        u, s, vt = u[:, :rank], s[:rank], vt[:rank]
+    u = np.array(u, dtype=np.float64, copy=True)
+    vt = np.array(vt, dtype=np.float64, copy=True)
+    flip = sign_flip_mask(u)
+    u[:, flip] *= -1.0
+    vt[flip, :] *= -1.0
+    return u, s, vt
+
+
+def leading_left_singular_vectors(matrix: MatrixLike, rank: int) -> np.ndarray:
+    """The ``rank`` leading left singular vectors, deterministic signs.
+
+    This is the exact primitive the paper's pseudocode calls
+    ``r_n leading left singular vectors of X_(n)``.
+    """
+    u, _s, _vt = truncated_svd(matrix, rank)
+    return u
+
+
+def spectral_energy(matrix: MatrixLike, rank: int) -> float:
+    """Sum of squared leading ``rank`` singular values.
+
+    Used by tests to check that factor subspaces capture the energy
+    they are supposed to.
+    """
+    _u, s, _vt = truncated_svd(matrix, rank)
+    return float(np.sum(s**2))

@@ -1,0 +1,123 @@
+"""Tensor matricization (unfolding) and its inverse (folding).
+
+The mode-``n`` unfolding of an ``N``-mode tensor arranges the mode-``n``
+fibers as the columns of a matrix.  We follow the Kolda & Bader
+convention (also the one the paper's HOSVD pseudocode assumes): the
+mode-``n`` unfolding of a tensor of shape ``(I_1, ..., I_N)`` has shape
+``(I_n, prod_{m != n} I_m)`` and the remaining modes vary with mode
+``n+1`` fastest excluded... concretely, column index ``j`` maps to the
+multi-index obtained by iterating the non-``n`` modes in order
+``(1, ..., n-1, n+1, ..., N)`` with the *first* of those varying
+fastest (Fortran-style), matching ``numpy.moveaxis + reshape(order='F')``.
+
+Only the pair of functions here needs to agree internally; every
+consumer in the library unfolds and folds through this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModeError, ShapeError
+
+
+def check_mode(ndim: int, mode: int) -> int:
+    """Validate ``mode`` against a tensor with ``ndim`` modes.
+
+    Negative modes are supported with the usual Python semantics.
+    Returns the normalized (non-negative) mode index.
+    """
+    if not isinstance(mode, (int, np.integer)):
+        raise ModeError(f"mode must be an integer, got {type(mode).__name__}")
+    normalized = int(mode)
+    if normalized < 0:
+        normalized += ndim
+    if not 0 <= normalized < ndim:
+        raise ModeError(f"mode {mode} out of range for a {ndim}-mode tensor")
+    return normalized
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Return the mode-``mode`` matricization of ``tensor``.
+
+    Parameters
+    ----------
+    tensor:
+        A dense numpy array with at least one mode.
+    mode:
+        The mode whose fibers become the columns of the result.
+
+    Returns
+    -------
+    numpy.ndarray
+        A matrix of shape ``(tensor.shape[mode], tensor.size // tensor.shape[mode])``.
+    """
+    tensor = np.asarray(tensor)
+    if tensor.ndim == 0:
+        raise ShapeError("cannot unfold a 0-mode tensor")
+    mode = check_mode(tensor.ndim, mode)
+    return np.moveaxis(tensor, mode, 0).reshape(
+        (tensor.shape[mode], -1), order="F"
+    )
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple) -> np.ndarray:
+    """Inverse of :func:`unfold`.
+
+    Parameters
+    ----------
+    matrix:
+        A matrix produced by (or shaped like the output of)
+        ``unfold(tensor, mode)`` for a tensor of shape ``shape``.
+    mode:
+        The mode that was unfolded.
+    shape:
+        The shape of the original tensor.
+
+    Returns
+    -------
+    numpy.ndarray
+        The re-folded tensor of shape ``shape``.
+    """
+    matrix = np.asarray(matrix)
+    shape = tuple(int(s) for s in shape)
+    if matrix.ndim != 2:
+        raise ShapeError(f"fold expects a matrix, got ndim={matrix.ndim}")
+    mode = check_mode(len(shape), mode)
+    expected = (shape[mode], int(np.prod(shape)) // shape[mode] if shape[mode] else 0)
+    if matrix.shape != expected:
+        raise ShapeError(
+            f"matrix shape {matrix.shape} does not match mode-{mode} "
+            f"unfolding {expected} of tensor shape {shape}"
+        )
+    moved_shape = (shape[mode],) + tuple(
+        s for i, s in enumerate(shape) if i != mode
+    )
+    return np.moveaxis(
+        matrix.reshape(moved_shape, order="F"), 0, mode
+    )
+
+
+def unfold_row_index(multi_index: tuple, shape: tuple, mode: int) -> tuple:
+    """Map a tensor multi-index to its (row, col) position in the
+    mode-``mode`` unfolding.
+
+    Useful for sparse matricization: a non-zero at ``multi_index`` lands
+    at row ``multi_index[mode]`` and a column computed Fortran-style
+    over the remaining modes.
+    """
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(len(shape), mode)
+    if len(multi_index) != len(shape):
+        raise ShapeError(
+            f"multi-index length {len(multi_index)} != tensor order {len(shape)}"
+        )
+    row = int(multi_index[mode])
+    col = 0
+    stride = 1
+    for axis, size in enumerate(shape):
+        if axis == mode:
+            continue
+        col += int(multi_index[axis]) * stride
+        stride *= size
+    return row, col

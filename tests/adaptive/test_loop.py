@@ -1,0 +1,107 @@
+"""Adaptive ensemble growth."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import AdaptiveEnsembleBuilder, random_reference
+from repro.exceptions import BudgetError, SamplingError
+from repro.sampling import RandomSampler
+
+RANKS = [2] * 5
+
+
+@pytest.fixture()
+def builder(pendulum_study):
+    partition = pendulum_study.default_partition()
+    return AdaptiveEnsembleBuilder(
+        pendulum_study,
+        partition,
+        RANKS,
+        initial_fraction=0.2,
+        batch_size=2,
+        seed=0,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_fraction(self, pendulum_study):
+        partition = pendulum_study.default_partition()
+        with pytest.raises(SamplingError):
+            AdaptiveEnsembleBuilder(
+                pendulum_study, partition, RANKS, initial_fraction=0.0
+            )
+        with pytest.raises(SamplingError):
+            AdaptiveEnsembleBuilder(
+                pendulum_study, partition, RANKS, initial_fraction=1.0
+            )
+
+    def test_rejects_bad_batch(self, pendulum_study):
+        partition = pendulum_study.default_partition()
+        with pytest.raises(SamplingError):
+            AdaptiveEnsembleBuilder(
+                pendulum_study, partition, RANKS, batch_size=0
+            )
+
+
+class TestRun:
+    def test_budget_respected(self, builder, pendulum_study):
+        budget = pendulum_study.matched_budget() // 2
+        outcome = builder.run(budget)
+        assert outcome.cells_used <= budget
+        assert outcome.rounds  # at least one adaptive round happened
+
+    def test_budget_too_small_rejected(self, builder):
+        with pytest.raises(BudgetError):
+            builder.run(10)
+
+    def test_selection_grows_each_round(self, builder, pendulum_study):
+        budget = pendulum_study.matched_budget() // 2
+        outcome = builder.run(budget)
+        initial = max(
+            1, int(round(0.2 * builder._free_sizes[1]))
+        )
+        assert outcome.selected[1].shape[0] > initial
+        # selections are unique and within range
+        for which in (1, 2):
+            flat = outcome.selected[which]
+            assert np.unique(flat).shape[0] == flat.shape[0]
+            assert flat.max() < builder._free_sizes[which]
+
+    def test_rounds_monotone_cells(self, builder, pendulum_study):
+        budget = pendulum_study.matched_budget() // 2
+        outcome = builder.run(budget)
+        cells = [r.cells_used for r in outcome.rounds]
+        assert cells == sorted(cells)
+
+    def test_accuracy_meaningful(self, builder, pendulum_study):
+        budget = pendulum_study.matched_budget() // 2
+        outcome = builder.run(budget)
+        accuracy = outcome.result.accuracy(pendulum_study.truth)
+        conventional = pendulum_study.run_conventional(
+            RandomSampler(0), outcome.cells_used, RANKS
+        )
+        assert accuracy > 3 * max(conventional.accuracy, 1e-9)
+
+
+class TestRandomReference:
+    def test_same_budget(self, pendulum_study):
+        partition = pendulum_study.default_partition()
+        budget = pendulum_study.matched_budget() // 2
+        result, cells = random_reference(
+            pendulum_study, partition, RANKS, budget, seed=1
+        )
+        assert cells <= budget
+        assert 0 < result.accuracy(pendulum_study.truth) < 1
+
+    def test_comparable_to_adaptive(self, builder, pendulum_study):
+        """Adaptive and random fiber selection land in the same
+        accuracy regime (the experiment's negative result)."""
+        partition = pendulum_study.default_partition()
+        budget = pendulum_study.matched_budget() // 2
+        adaptive = builder.run(budget)
+        reference, _cells = random_reference(
+            pendulum_study, partition, RANKS, adaptive.cells_used, seed=0
+        )
+        a = adaptive.result.accuracy(pendulum_study.truth)
+        b = reference.accuracy(pendulum_study.truth)
+        assert a > 0.3 * b  # same order of magnitude

@@ -1,0 +1,101 @@
+"""Factor interpretation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    component_loadings,
+    index_loadings,
+    participation_ratio,
+    summarize_factors,
+    summarize_mode,
+    top_indices,
+)
+from repro.exceptions import ModeError, ShapeError
+from repro.tensor import TuckerTensor, hosvd, outer
+
+
+def spike_tensor():
+    """A tensor dominated by one index per mode."""
+    u = np.array([5.0, 0.1, 0.1, 0.1])
+    v = np.array([0.1, 4.0, 0.1, 0.1])
+    w = np.array([0.1, 0.1, 3.0, 0.1])
+    return outer([u, v, w])
+
+
+class TestIndexLoadings:
+    def test_detects_dominant_index(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        assert np.argmax(index_loadings(tucker, 0)) == 0
+        assert np.argmax(index_loadings(tucker, 1)) == 1
+        assert np.argmax(index_loadings(tucker, 2)) == 2
+
+    def test_loadings_match_slab_norms_for_orthonormal_factors(self, rng):
+        tensor = rng.standard_normal((5, 6, 4))
+        tucker = hosvd(tensor, (5, 6, 4))  # full rank, exact
+        loadings = index_loadings(tucker, 0)
+        slab_norms = np.linalg.norm(
+            tensor.reshape(5, -1), axis=1
+        )
+        assert np.allclose(loadings, slab_norms, atol=1e-8)
+
+    def test_negative_mode(self, rng):
+        tucker = hosvd(rng.standard_normal((4, 4, 4)), (2, 2, 2))
+        assert np.allclose(
+            index_loadings(tucker, -1), index_loadings(tucker, 2)
+        )
+
+    def test_rejects_bad_mode(self, rng):
+        tucker = hosvd(rng.standard_normal((4, 4)), (2, 2))
+        with pytest.raises(ModeError):
+            index_loadings(tucker, 5)
+
+
+class TestTopIndices:
+    def test_spike_is_top(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        top = top_indices(tucker, 0, component=0, count=2)
+        assert top[0][0] == 0
+        assert abs(top[0][1]) >= abs(top[1][1])
+
+    def test_rejects_bad_component(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        with pytest.raises(ModeError):
+            top_indices(tucker, 0, component=7)
+
+    def test_component_loadings_shape(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        assert component_loadings(tucker, 1).shape == (4, 2)
+
+
+class TestParticipationRatio:
+    def test_uniform_is_one(self):
+        assert participation_ratio(np.ones(8)) == pytest.approx(1.0)
+
+    def test_spike_is_one_over_n(self):
+        weights = np.zeros(8)
+        weights[3] = 5.0
+        assert participation_ratio(weights) == pytest.approx(1 / 8)
+
+    def test_zero_weights(self):
+        assert participation_ratio(np.zeros(4)) == 1.0
+
+
+class TestSummaries:
+    def test_summarize_mode(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        summary = summarize_mode(tucker, 0, name="phi1")
+        assert summary.dominant_index == 0
+        assert summary.name == "phi1"
+        assert 0 < summary.concentration <= 1
+        assert "phi1" in summary.describe()
+
+    def test_summarize_factors_names(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        summaries = summarize_factors(tucker, ["a", "b", "c"])
+        assert [s.name for s in summaries] == ["a", "b", "c"]
+
+    def test_summarize_factors_rejects_bad_names(self):
+        tucker = hosvd(spike_tensor(), (2, 2, 2))
+        with pytest.raises(ShapeError):
+            summarize_factors(tucker, ["a"])

@@ -1,0 +1,34 @@
+"""Shared fixtures: tiny ground-truth studies reused across tests.
+
+Building the full-space tensor is the slow part of the pipeline, so
+the studies are session-scoped; each test treats them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EnsembleStudy
+from repro.simulation import DoublePendulum, Lorenz, TriplePendulum
+
+
+@pytest.fixture(scope="session")
+def pendulum_study() -> EnsembleStudy:
+    """Double-pendulum study at resolution 6 (tiny but non-trivial)."""
+    return EnsembleStudy.create(DoublePendulum(), resolution=6)
+
+
+@pytest.fixture(scope="session")
+def lorenz_study() -> EnsembleStudy:
+    return EnsembleStudy.create(Lorenz(), resolution=5)
+
+
+@pytest.fixture(scope="session")
+def triple_study() -> EnsembleStudy:
+    return EnsembleStudy.create(TriplePendulum(), resolution=5)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,159 @@
+"""Multiway partition-stitch (extension beyond the paper's m = 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiway import (
+    MWPartition,
+    m2td_multiway,
+    multiway_budget_cells,
+    multiway_join_dense,
+    multiway_study,
+)
+from repro.exceptions import PartitionError, StitchError
+from repro.simulation import DoublePendulum, ParameterSpace
+
+SHAPE = (4, 4, 4, 4, 4)
+
+
+def partition_2way():
+    return MWPartition(SHAPE, (4,), ((0, 1), (2, 3)))
+
+
+def partition_4way():
+    return MWPartition(SHAPE, (4,), ((0,), (1,), (2,), (3,)))
+
+
+class TestMWPartition:
+    def test_geometry(self):
+        part = partition_4way()
+        assert part.m == 4
+        assert part.k == 1
+        assert part.sub_modes(2) == (4, 2)
+        assert part.join_modes == (4, 0, 1, 2, 3)
+
+    def test_join_to_original_inverse(self):
+        part = partition_2way()
+        recovered = [part.join_modes[p] for p in part.join_to_original]
+        assert recovered == list(range(5))
+
+    def test_frozen_modes(self):
+        part = partition_4way()
+        assert part.frozen_modes(0) == (1, 2, 3)
+        assert part.frozen_modes(3) == (0, 1, 2)
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(PartitionError):
+            MWPartition(SHAPE, (4,), ((0, 1), (2,)))
+
+    def test_rejects_single_group(self):
+        with pytest.raises(PartitionError):
+            MWPartition(SHAPE, (4,), ((0, 1, 2, 3),))
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(PartitionError):
+            MWPartition(SHAPE, (4,), ((0, 1, 2, 3), ()))
+
+    def test_as_pf_partition(self):
+        pf = partition_2way().as_pf_partition()
+        assert pf.pivot_modes == (4,)
+        assert pf.s1_free == (0, 1)
+        assert pf.s2_free == (2, 3)
+
+    def test_as_pf_partition_needs_m2(self):
+        with pytest.raises(PartitionError):
+            partition_4way().as_pf_partition()
+
+    def test_for_space_defaults_to_singletons(self):
+        space = ParameterSpace(DoublePendulum(), resolution=4)
+        part = MWPartition.for_space(space, pivot="t")
+        assert part.m == 4
+        assert all(len(g) == 1 for g in part.free_groups)
+
+    def test_extract_sub_tensor(self, rng):
+        part = partition_4way()
+        full = rng.standard_normal(SHAPE)
+        sub = part.extract_sub_tensor(1, full)
+        assert sub.shape == (4, 4)
+        fixed = part.fixed_indices
+        assert sub[3, 2] == pytest.approx(
+            full[fixed[0], 2, fixed[2], fixed[3], 3]
+        )
+
+
+class TestMultiwayJoin:
+    def test_values_average_all_sides(self, rng):
+        part = partition_4way()
+        subs = [rng.standard_normal(part.sub_shape(i)) for i in range(4)]
+        joined = multiway_join_dense(subs, part)
+        assert joined.shape == (4, 4, 4, 4, 4)
+        expected = 0.25 * (
+            subs[0][2, 1] + subs[1][2, 0] + subs[2][2, 3] + subs[3][2, 2]
+        )
+        assert joined[2, 1, 0, 3, 2] == pytest.approx(expected)
+
+    def test_m2_matches_pairwise_join(self, rng):
+        from repro.core.join_tensor import dense_join_from_subs
+
+        part = partition_2way()
+        x1 = rng.standard_normal(part.sub_shape(0))
+        x2 = rng.standard_normal(part.sub_shape(1))
+        multiway = multiway_join_dense([x1, x2], part)
+        pairwise = dense_join_from_subs(x1, x2, part.as_pf_partition())
+        assert np.allclose(multiway, pairwise)
+
+    def test_rejects_wrong_count(self, rng):
+        part = partition_4way()
+        with pytest.raises(StitchError):
+            multiway_join_dense([rng.standard_normal((4, 4))], part)
+
+
+class TestM2tdMultiway:
+    def test_m2_matches_two_way_engine(self, rng):
+        from repro.core.m2td import m2td_decompose
+
+        part = partition_2way()
+        x1 = rng.standard_normal(part.sub_shape(0)) + 2
+        x2 = rng.standard_normal(part.sub_shape(1)) + 2
+        ranks = [2] * 5
+        multiway = m2td_multiway([x1, x2], part, ranks, variant="select")
+        two_way = m2td_decompose(
+            x1, x2, part.as_pf_partition(), ranks, variant="select"
+        )
+        assert np.allclose(
+            multiway.tucker.core, two_way.tucker.core, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("variant", ["avg", "concat", "select"])
+    def test_four_way_runs(self, rng, variant):
+        part = partition_4way()
+        subs = [rng.standard_normal(part.sub_shape(i)) + 2 for i in range(4)]
+        result = m2td_multiway(subs, part, [2] * 5, variant=variant)
+        assert result.tucker.shape == SHAPE
+        assert result.reconstruct_original().shape == SHAPE
+
+    def test_rejects_unknown_variant(self, rng):
+        part = partition_2way()
+        subs = [rng.standard_normal(part.sub_shape(i)) for i in range(2)]
+        with pytest.raises(StitchError):
+            m2td_multiway(subs, part, [2] * 5, variant="median")
+
+    def test_rejects_bad_ranks(self, rng):
+        part = partition_2way()
+        subs = [rng.standard_normal(part.sub_shape(i)) for i in range(2)]
+        with pytest.raises(StitchError):
+            m2td_multiway(subs, part, [2] * 3)
+
+
+class TestMultiwayStudy:
+    def test_budget_formula(self):
+        assert multiway_budget_cells(partition_2way()) == 4 * (16 + 16)
+        assert multiway_budget_cells(partition_4way()) == 4 * (4 * 4)
+
+    def test_study_on_ground_truth(self, pendulum_study):
+        part = MWPartition.for_space(pendulum_study.space, pivot="t")
+        result, cells = multiway_study(
+            pendulum_study.truth, part, [2] * 5, variant="select"
+        )
+        assert cells == multiway_budget_cells(part)
+        assert 0 < result.accuracy(pendulum_study.truth) < 1

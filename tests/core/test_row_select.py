@@ -1,0 +1,82 @@
+"""ROW_SELECT (Algorithm 5) and the pivot-factor combiners."""
+
+import numpy as np
+import pytest
+
+from repro.core import average_factors, row_select, row_select_source
+from repro.core.row_select import align_columns
+from repro.exceptions import ShapeError
+
+
+class TestAlignColumns:
+    def test_flips_anticorrelated_columns(self, rng):
+        u1 = rng.standard_normal((6, 3))
+        u2 = u1.copy()
+        u2[:, 1] *= -1
+        aligned = align_columns(u1, u2)
+        assert np.allclose(aligned, u1)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            align_columns(rng.standard_normal((4, 2)), rng.standard_normal((5, 2)))
+
+
+class TestAverageFactors:
+    def test_average_of_identical_is_identity(self, rng):
+        u = rng.standard_normal((5, 2))
+        assert np.allclose(average_factors(u, u), u)
+
+    def test_sign_flip_does_not_cancel(self, rng):
+        u = rng.standard_normal((5, 2))
+        averaged = average_factors(u, -u)
+        assert np.allclose(averaged, u)  # alignment flips -u back
+
+    def test_plain_average_when_aligned(self, rng):
+        u1 = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        u2 = np.array([[3.0, 0.0], [0.0, 3.0], [1.0, 1.0]])
+        assert np.allclose(average_factors(u1, u2), 0.5 * (u1 + u2))
+
+
+class TestRowSelect:
+    def test_picks_higher_energy_row(self):
+        u1 = np.array([[2.0, 0.0], [0.1, 0.0]])
+        u2 = np.array([[0.5, 0.0], [1.0, 0.0]])
+        selected = row_select(u1, u2)
+        assert np.allclose(selected[0], u1[0])
+        assert np.allclose(selected[1], u2[1])
+
+    def test_tie_goes_to_first(self):
+        u = np.array([[1.0, 0.0]])
+        assert np.allclose(row_select(u, u.copy()), u)
+
+    def test_spectral_weighting_changes_choice(self):
+        # Row norms equal in U, but singular values make side 1 the
+        # higher-energy representation.
+        u1 = np.array([[1.0, 0.0], [0.0, 1.0]])
+        u2 = np.array([[1.0, 0.0], [0.0, 1.0]]) * 0.999
+        s1 = np.array([10.0, 10.0])
+        s2 = np.array([1.0, 1.0])
+        selected = row_select(u1, u2, s1, s2)
+        assert np.allclose(selected, u1)
+
+    def test_rejects_bad_singular_values(self, rng):
+        u = rng.standard_normal((4, 2))
+        with pytest.raises(ShapeError):
+            row_select(u, u, np.ones(3), np.ones(2))
+
+    def test_output_rows_come_from_inputs(self, rng):
+        u1 = rng.standard_normal((6, 3))
+        u2 = rng.standard_normal((6, 3))
+        aligned_u2 = align_columns(u1, u2)
+        selected = row_select(u1, u2)
+        for i in range(6):
+            from_u1 = np.allclose(selected[i], u1[i])
+            from_u2 = np.allclose(selected[i], aligned_u2[i])
+            assert from_u1 or from_u2
+
+
+class TestRowSelectSource:
+    def test_source_labels(self):
+        u1 = np.array([[2.0, 0.0], [0.1, 0.0]])
+        u2 = np.array([[0.5, 0.0], [1.0, 0.0]])
+        assert row_select_source(u1, u2).tolist() == [1, 2]

@@ -1,0 +1,77 @@
+"""Cluster cost model: scheduling and scaling shapes."""
+
+import pytest
+
+from repro.distributed import ClusterModel, lpt_makespan
+from repro.distributed.mapreduce import JobStats, TaskStats
+from repro.exceptions import MapReduceError
+
+
+class TestLptMakespan:
+    def test_single_server_sums(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_servers_takes_max(self):
+        assert lpt_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_greedy_split(self):
+        # LPT places 3,3 on different servers, then 2,2,2 alternating:
+        # loads (3+2+2, 3+2) -> makespan 7 (optimal would be 6; LPT is
+        # a 7/6-approximation and that is fine for the cost model).
+        assert lpt_makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2) == pytest.approx(7.0)
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_rejects_no_servers(self):
+        with pytest.raises(MapReduceError):
+            lpt_makespan([1.0], 0)
+
+
+def stats_with(durations, shuffle_bytes=0):
+    stats = JobStats(name="test")
+    stats.reduce_tasks = [
+        TaskStats(task_id=f"r{i}", compute_seconds=d)
+        for i, d in enumerate(durations)
+    ]
+    stats.shuffle_bytes = shuffle_bytes
+    return stats
+
+
+class TestClusterModel:
+    def test_rejects_no_servers(self):
+        with pytest.raises(MapReduceError):
+            ClusterModel(n_servers=0)
+
+    def test_more_servers_never_slower(self):
+        stats = stats_with([0.5] * 16, shuffle_bytes=10 * 1024 * 1024)
+        times = [
+            ClusterModel(n_servers=s).job_time(stats) for s in (1, 2, 4, 8, 16)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_diminishing_returns(self):
+        stats = stats_with([0.5] * 16, shuffle_bytes=10 * 1024 * 1024)
+        t1 = ClusterModel(n_servers=1).job_time(stats)
+        t4 = ClusterModel(n_servers=4).job_time(stats)
+        t16 = ClusterModel(n_servers=16).job_time(stats)
+        assert (t1 - t4) > (t4 - t16)
+
+    def test_overhead_floors_scaling(self):
+        stats = stats_with([0.001] * 4)
+        model = ClusterModel(n_servers=100, task_overhead_seconds=0.05)
+        assert model.job_time(stats) >= 0.05
+
+    def test_shuffle_time_scales_with_bytes(self):
+        model = ClusterModel(n_servers=1)
+        assert model.shuffle_time(2 * 1024 * 1024) == pytest.approx(
+            2 * model.network_seconds_per_mb
+        )
+
+    def test_network_scaling_exponent(self):
+        base = ClusterModel(n_servers=4, network_scaling=0.0)
+        scaled = ClusterModel(n_servers=4, network_scaling=1.0)
+        stats_bytes = 8 * 1024 * 1024
+        assert scaled.shuffle_time(stats_bytes) == pytest.approx(
+            base.shuffle_time(stats_bytes) / 4
+        )

@@ -1,0 +1,157 @@
+"""The local MapReduce engine: semantics and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    LocalMapReduceEngine,
+    MapReduceJob,
+    payload_bytes,
+)
+from repro.exceptions import MapReduceError
+
+
+def word_count_job():
+    def map_fn(_key, line):
+        for word in line.split():
+            yield word, 1
+
+    def reduce_fn(word, counts):
+        yield word, sum(counts)
+
+    return MapReduceJob(name="wordcount", map_fn=map_fn, reduce_fn=reduce_fn)
+
+
+class TestEngine:
+    def test_word_count(self):
+        engine = LocalMapReduceEngine()
+        records = [(i, line) for i, line in enumerate(
+            ["a b a", "b c", "a"]
+        )]
+        output, stats = engine.run(word_count_job(), records)
+        counts = dict(output)
+        assert counts == {"a": 3, "b": 2, "c": 1}
+        assert stats.name == "wordcount"
+
+    def test_identity_map_when_none(self):
+        job = MapReduceJob(
+            name="sum", reduce_fn=lambda key, values: [(key, sum(values))]
+        )
+        output, _stats = engine_run(job, [("x", 1), ("x", 2), ("y", 5)])
+        assert dict(output) == {"x": 3, "y": 5}
+
+    def test_no_reduce_passthrough(self):
+        job = MapReduceJob(
+            name="flatten",
+            map_fn=lambda key, value: [(key, value), (key, value * 2)],
+        )
+        output, _stats = engine_run(job, [("k", 3)])
+        assert sorted(v for _k, v in output) == [3, 6]
+
+    def test_map_error_wrapped(self):
+        job = MapReduceJob(
+            name="boom", map_fn=lambda key, value: 1 / 0
+        )
+        with pytest.raises(MapReduceError, match="boom"):
+            engine_run(job, [("k", 1)])
+
+    def test_reduce_error_wrapped(self):
+        job = MapReduceJob(
+            name="boom2",
+            reduce_fn=lambda key, values: (_ for _ in ()).throw(ValueError("x")),
+        )
+        with pytest.raises(MapReduceError, match="boom2"):
+            engine_run(job, [("k", 1)])
+
+    def test_task_stats_counts(self):
+        engine = LocalMapReduceEngine()
+        _out, stats = engine.run(
+            word_count_job(), [(0, "a b"), (1, "a")]
+        )
+        assert sum(t.records_in for t in stats.map_tasks) == 2
+        assert sum(t.records_out for t in stats.map_tasks) == 3
+        assert len(stats.reduce_tasks) == 2  # keys a, b
+        assert stats.shuffle_bytes > 0
+
+    def test_map_task_splitting(self):
+        job = MapReduceJob(name="nop", map_fn=lambda k, v: [(k, v)], map_tasks=3)
+        engine = LocalMapReduceEngine()
+        _out, stats = engine.run(job, [(i, i) for i in range(7)])
+        assert len(stats.map_tasks) == 3
+
+
+def engine_run(job, records):
+    return LocalMapReduceEngine().run(job, records)
+
+
+class TestThreadedEngine:
+    def test_equivalent_to_sequential(self):
+        sequential, _s1 = LocalMapReduceEngine(n_workers=1).run(
+            word_count_job(), [(i, "a b c a") for i in range(10)]
+        )
+        threaded, _s2 = LocalMapReduceEngine(n_workers=4).run(
+            word_count_job(), [(i, "a b c a") for i in range(10)]
+        )
+        assert sorted(sequential) == sorted(threaded)
+
+    def test_stats_equivalent(self):
+        records = [(i, f"w{i % 3} common") for i in range(9)]
+        _out1, s1 = LocalMapReduceEngine(1).run(word_count_job(), records)
+        _out2, s2 = LocalMapReduceEngine(4).run(word_count_job(), records)
+        assert len(s1.reduce_tasks) == len(s2.reduce_tasks)
+        assert s1.shuffle_bytes == s2.shuffle_bytes
+
+    def test_errors_propagate_from_threads(self):
+        job = MapReduceJob(
+            name="boom3",
+            reduce_fn=lambda key, values: (_ for _ in ()).throw(ValueError()),
+        )
+        with pytest.raises(MapReduceError, match="boom3"):
+            LocalMapReduceEngine(4).run(job, [("k", 1), ("j", 2)])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(MapReduceError):
+            LocalMapReduceEngine(0)
+
+    def test_dm2td_agrees_across_worker_counts(self):
+        import numpy as np
+
+        from repro.core.m2td import m2td_decompose
+        from repro.distributed import distributed_m2td
+        from repro.sampling import PFPartition
+        from repro.tensor import SparseTensor
+
+        part = PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
+        rng = np.random.default_rng(0)
+        x1 = SparseTensor.from_dense(
+            rng.standard_normal(part.sub_shape(1)) + 2, keep_zeros=True
+        )
+        x2 = SparseTensor.from_dense(
+            rng.standard_normal(part.sub_shape(2)) + 2, keep_zeros=True
+        )
+        seq = distributed_m2td(
+            x1, x2, part, [2] * 5, engine=LocalMapReduceEngine(1)
+        )
+        par = distributed_m2td(
+            x1, x2, part, [2] * 5, engine=LocalMapReduceEngine(4)
+        )
+        assert np.allclose(
+            seq.result.tucker.core, par.result.tucker.core
+        )
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert payload_bytes(np.zeros(10)) == 80
+
+    def test_containers(self):
+        assert payload_bytes((np.zeros(2), np.zeros(3))) == 16 + 24 + 8
+
+    def test_string(self):
+        assert payload_bytes("hello") == 5
+
+    def test_scalar_flat_cost(self):
+        assert payload_bytes(42) == 8
+
+    def test_dict(self):
+        assert payload_bytes({"a": np.zeros(1)}) == 1 + 8 + 8

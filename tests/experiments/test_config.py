@@ -1,0 +1,61 @@
+"""Experiment configuration and the study cache."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    StudyCache,
+    default_config,
+    quick_config,
+)
+from repro.experiments.schemes import conventional_sampler
+
+
+class TestConfigs:
+    def test_default_validates(self):
+        default_config().validate()
+
+    def test_quick_is_smaller(self):
+        quick = quick_config()
+        default = default_config()
+        quick.validate()
+        assert max(quick.resolutions) <= max(default.resolutions)
+
+    def test_validation_catches_bad_values(self):
+        from dataclasses import replace
+
+        with pytest.raises(ExperimentError):
+            replace(default_config(), default_resolution=2).validate()
+        with pytest.raises(ExperimentError):
+            replace(default_config(), ranks=()).validate()
+
+
+class TestStudyCache:
+    def test_memoizes(self):
+        cache = StudyCache()
+        a = cache.study("double_pendulum", 4)
+        b = cache.study("double_pendulum", 4)
+        assert a is b
+
+    def test_distinct_keys(self):
+        cache = StudyCache()
+        a = cache.study("double_pendulum", 4)
+        b = cache.study("lorenz", 4)
+        assert a is not b
+
+    def test_clear(self):
+        cache = StudyCache()
+        a = cache.study("double_pendulum", 4)
+        cache.clear()
+        assert cache.study("double_pendulum", 4) is not a
+
+
+class TestSchemes:
+    def test_sampler_factory(self):
+        assert conventional_sampler("Random", 0).name == "Random"
+        assert conventional_sampler("Grid", 0).name == "Grid"
+        assert conventional_sampler("Slice", 0).name == "Slice"
+
+    def test_unknown_sampler(self):
+        with pytest.raises(ExperimentError):
+            conventional_sampler("Halton", 0)

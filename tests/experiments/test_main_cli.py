@@ -1,0 +1,60 @@
+"""The ``python -m repro.experiments`` CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiments == ["table2"]
+        assert not args.quick
+        assert not args.all
+
+    def test_flags(self):
+        args = build_parser().parse_args(["--all", "--quick", "--output", "x"])
+        assert args.all and args.quick
+        assert args.output == "x"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "ext-subspace" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_runs_single_experiment(self, capsys, tmp_path, monkeypatch):
+        # Patch the quick config to a tiny one so the test stays fast.
+        from dataclasses import replace
+
+        import repro.experiments.__main__ as cli
+        from repro.experiments import default_config
+
+        tiny = replace(
+            default_config(),
+            resolutions=(5,),
+            ranks=(2,),
+            default_resolution=5,
+            default_rank=2,
+            servers=(1, 2),
+        )
+        monkeypatch.setattr(cli, "quick_config", lambda: tiny)
+        output = tmp_path / "report.txt"
+        assert main(["table3", "--quick", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert "table3" in text
+        assert "Servers" in text
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["table42"])

@@ -1,0 +1,57 @@
+"""Report rendering and formatting."""
+
+from repro.experiments import ExperimentReport, format_table, format_value
+
+
+class TestFormatValue:
+    def test_small_float_scientific(self):
+        assert format_value(3e-4) == "3e-04"
+
+    def test_regular_float(self):
+        assert format_value(0.4567) == "0.4567"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.0000"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("Grid") == "Grid"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.0], [30, 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, divider, row1, row2 = lines
+        assert len(header) == len(divider) == len(row1) == len(row2)
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        report = ExperimentReport(
+            experiment_id="tableX",
+            title="demo",
+            headers=["a", "b"],
+        )
+        report.add_row(1, 0.5)
+        report.notes.append("scaled down")
+        sub = ExperimentReport("sub", "times", ["t"])
+        sub.add_row(0.1)
+        report.extra_tables["times"] = sub
+        text = report.render()
+        assert "tableX" in text
+        assert "demo" in text
+        assert "note: scaled down" in text
+        assert "times" in text
+
+    def test_as_dicts(self):
+        report = ExperimentReport("t", "d", ["x", "y"])
+        report.add_row(1, 2)
+        assert report.as_dicts() == [{"x": 1, "y": 2}]

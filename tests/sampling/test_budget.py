@@ -1,0 +1,77 @@
+"""Budget arithmetic: the P*E and P*E^2 formulas of Sections I-C/V."""
+
+import pytest
+
+from repro.exceptions import BudgetError
+from repro.sampling import (
+    PartitionBudget,
+    PFPartition,
+    budget_for_fractions,
+    effective_density_ratio,
+)
+
+SHAPE = (6, 6, 6, 6, 6)
+
+
+def partition():
+    return PFPartition(SHAPE, (4,), (0, 1), (2, 3))
+
+
+class TestPartitionBudget:
+    def test_cells(self):
+        budget = PartitionBudget(n_pivot=6, n_free1=36, n_free2=36)
+        assert budget.cells == 6 * 72
+
+    def test_join_entries(self):
+        budget = PartitionBudget(6, 36, 36)
+        assert budget.join_entries == 6 * 36 * 36
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BudgetError):
+            PartitionBudget(0, 1, 1)
+        with pytest.raises(BudgetError):
+            PartitionBudget(1, 1, -2)
+
+
+class TestBudgetForFractions:
+    def test_full(self):
+        budget = budget_for_fractions(partition(), 1.0, 1.0)
+        assert budget.n_pivot == 6
+        assert budget.n_free1 == 36
+        assert budget.n_free2 == 36
+
+    def test_half(self):
+        budget = budget_for_fractions(partition(), 0.5, 0.5)
+        assert budget.n_pivot == 3
+        assert budget.n_free1 == 18
+
+    def test_floor_at_one(self):
+        budget = budget_for_fractions(partition(), 0.01, 0.01)
+        assert budget.n_pivot == 1
+        assert budget.n_free1 == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(BudgetError):
+            budget_for_fractions(partition(), 0.0, 1.0)
+        with pytest.raises(BudgetError):
+            budget_for_fractions(partition(), 1.0, 1.2)
+
+
+class TestEffectiveDensityRatio:
+    def test_full_density_gain_is_half_e(self):
+        part = partition()
+        budget = budget_for_fractions(part, 1.0, 1.0)
+        # gain = join_entries / cells = P*E^2 / (2*P*E) = E/2
+        assert effective_density_ratio(part, budget) == pytest.approx(18.0)
+
+    def test_gain_scales_linearly_with_e(self):
+        part = partition()
+        full = effective_density_ratio(part, budget_for_fractions(part, 1.0, 1.0))
+        half = effective_density_ratio(part, budget_for_fractions(part, 1.0, 0.5))
+        assert half == pytest.approx(full / 2)
+
+    def test_gain_independent_of_p(self):
+        part = partition()
+        full = effective_density_ratio(part, budget_for_fractions(part, 1.0, 1.0))
+        low_p = effective_density_ratio(part, budget_for_fractions(part, 0.5, 1.0))
+        assert low_p == pytest.approx(full)

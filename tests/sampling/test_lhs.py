@@ -1,0 +1,65 @@
+"""Latin hypercube sampler."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import LatinHypercubeSampler, lhs_round
+
+SHAPE = (8, 8, 8, 8)
+
+
+class TestLhsRound:
+    def test_one_point_per_stratum(self):
+        rng = np.random.default_rng(0)
+        points = lhs_round((8, 8), 8, rng)
+        # With n_points == size, every index appears exactly once per mode.
+        for mode in range(2):
+            assert sorted(points[:, mode]) == list(range(8))
+
+    def test_spread_when_undersampled(self):
+        rng = np.random.default_rng(1)
+        points = lhs_round((16,), 4, rng)
+        # 4 strata of width 4: one point in each quarter.
+        quarters = sorted(points[:, 0] // 4)
+        assert quarters == [0, 1, 2, 3]
+
+    def test_within_bounds(self):
+        rng = np.random.default_rng(2)
+        points = lhs_round((5, 7, 3), 10, rng)
+        assert (points >= 0).all()
+        assert (points < np.array([5, 7, 3])).all()
+
+
+class TestLatinHypercubeSampler:
+    def test_exact_budget(self):
+        sample = LatinHypercubeSampler(seed=0).sample(SHAPE, 100)
+        assert sample.n_cells == 100
+
+    def test_no_duplicates(self):
+        sample = LatinHypercubeSampler(seed=0).sample(SHAPE, 200)
+        assert np.unique(sample.coords, axis=0).shape[0] == 200
+
+    def test_seed_reproducible(self):
+        a = LatinHypercubeSampler(seed=3).sample(SHAPE, 64)
+        b = LatinHypercubeSampler(seed=3).sample(SHAPE, 64)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_better_marginal_coverage_than_random(self):
+        """LHS's defining property: per-mode marginals are (nearly)
+        uniform, so the per-mode index coverage beats random sampling
+        at small budgets."""
+        budget = 8
+        lhs = LatinHypercubeSampler(seed=0).sample(SHAPE, budget)
+        # every mode's 8 indices are all hit by 8 LHS points
+        for mode in range(len(SHAPE)):
+            assert len(np.unique(lhs.coords[:, mode])) == 8
+
+    def test_full_space(self):
+        sample = LatinHypercubeSampler(seed=1).sample((3, 3), 9)
+        assert sample.n_cells == 9
+
+    def test_budget_validation(self):
+        from repro.exceptions import BudgetError
+
+        with pytest.raises(BudgetError):
+            LatinHypercubeSampler(seed=0).sample((2, 2), 5)

@@ -1,0 +1,147 @@
+"""PF-partitioning: mode bookkeeping and coordinate embedding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.sampling import PFPartition
+from repro.simulation import DoublePendulum, ParameterSpace
+
+SHAPE = (6, 6, 6, 6, 6)
+
+
+def default_partition():
+    return PFPartition(
+        shape=SHAPE, pivot_modes=(4,), s1_free=(0, 1), s2_free=(2, 3)
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        part = default_partition()
+        assert part.k == 1
+        assert part.sub_modes(1) == (4, 0, 1)
+        assert part.sub_modes(2) == (4, 2, 3)
+        assert part.sub_shape(1) == (6, 6, 6)
+
+    def test_default_fixing_is_middle(self):
+        part = default_partition()
+        assert part.fixed_indices == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_rejects_incomplete_partition(self):
+        with pytest.raises(PartitionError):
+            PFPartition(SHAPE, (4,), (0,), (2, 3))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(PartitionError):
+            PFPartition(SHAPE, (4,), (0, 1, 2), (2, 3))
+
+    def test_rejects_no_pivot(self):
+        with pytest.raises(PartitionError):
+            PFPartition(SHAPE, (), (0, 1, 4), (2, 3))
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(PartitionError):
+            PFPartition((4, 4), (0,), (1,), ())
+
+    def test_rejects_bad_fixing_index(self):
+        with pytest.raises(PartitionError):
+            PFPartition(SHAPE, (4,), (0, 1), (2, 3), fixed_indices={0: 9})
+
+    def test_bad_sub_system_id(self):
+        with pytest.raises(PartitionError):
+            default_partition().sub_modes(3)
+
+
+class TestJoinGeometry:
+    def test_join_modes_and_shape(self):
+        part = default_partition()
+        assert part.join_modes == (4, 0, 1, 2, 3)
+        assert part.join_shape == SHAPE
+
+    def test_join_to_original_is_inverse(self):
+        part = default_partition()
+        perm = part.join_to_original
+        # Applying the permutation to the join order recovers 0..N-1.
+        recovered = [part.join_modes[p] for p in perm]
+        assert recovered == list(range(5))
+
+    def test_pivot_and_free_sizes(self):
+        part = default_partition()
+        assert part.pivot_space_size == 6
+        assert part.free_space_size(1) == 36
+        assert part.free_space_size(2) == 36
+
+
+class TestEmbedding:
+    def test_embed_fills_fixed(self):
+        part = default_partition()
+        full = part.embed_coords(1, np.array([[2, 1, 0]]))
+        # sub modes (4, 0, 1): t=2, phi1=1, m1=0; modes 2,3 fixed at 3.
+        assert full.tolist() == [[1, 0, 3, 3, 2]]
+
+    def test_embed_rejects_bad_width(self):
+        with pytest.raises(PartitionError):
+            default_partition().embed_coords(1, np.zeros((1, 2), dtype=int))
+
+    def test_extract_sub_tensor(self, rng):
+        part = default_partition()
+        full = rng.standard_normal(SHAPE)
+        sub = part.extract_sub_tensor(1, full)
+        assert sub.shape == (6, 6, 6)
+        # sub[(t, phi1, m1)] == full[phi1, m1, fix, fix, t]
+        assert sub[2, 1, 0] == pytest.approx(full[1, 0, 3, 3, 2])
+
+    def test_extract_rejects_shape_mismatch(self, rng):
+        with pytest.raises(PartitionError):
+            default_partition().extract_sub_tensor(
+                1, rng.standard_normal((2, 2))
+            )
+
+
+class TestForSpace:
+    def test_default_split(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        part = PFPartition.for_space(space, pivot="t")
+        assert part.pivot_modes == (4,)
+        assert part.s1_free == (0, 1)
+        assert part.s2_free == (2, 3)
+
+    def test_fixing_constants_near_defaults(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        part = PFPartition.for_space(space, pivot="t")
+        for mode in (0, 1, 2, 3):
+            grid = space.grid(mode)
+            default = space.system.parameters[mode].default
+            fixed_value = grid[part.fixed_indices[mode]]
+            assert abs(fixed_value - default) == pytest.approx(
+                np.abs(grid - default).min()
+            )
+
+    def test_named_split(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        part = PFPartition.for_space(
+            space, pivot="m1", s1_free=("phi1", "t"), s2_free=("phi2", "m2")
+        )
+        assert part.pivot_modes == (1,)
+        assert part.s1_free == (0, 4)
+        assert part.s2_free == (2, 3)
+        # frozen time mode gets the middle index
+        assert part.fixed_indices[4] == space.time_resolution // 2
+
+    def test_explicit_fixed_indices(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        part = PFPartition.for_space(space, pivot="t", fixed_indices={"m2": 0})
+        assert part.fixed_indices[3] == 0
+
+    def test_rejects_one_sided_split(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        with pytest.raises(PartitionError):
+            PFPartition.for_space(space, pivot="t", s1_free=("phi1", "m1"))
+
+    def test_rejects_unbalanced_split(self):
+        space = ParameterSpace(DoublePendulum(), resolution=6)
+        with pytest.raises(PartitionError):
+            PFPartition.for_space(
+                space, pivot="t", s1_free=("phi1",), s2_free=("m1", "phi2", "m2")
+            )

@@ -1,0 +1,141 @@
+"""Conventional samplers: RANDOM, GRID, SLICE (paper Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetError, SamplingError
+from repro.sampling import (
+    GridSampler,
+    RandomSampler,
+    SampleSet,
+    SliceSampler,
+    balanced_grid_counts,
+    choose_free_modes,
+    spread_indices,
+    validate_budget,
+)
+
+SHAPE = (6, 6, 6, 6, 6)
+
+
+class TestSampleSet:
+    def test_dedupes(self):
+        sample = SampleSet((4, 4), np.array([[0, 0], [0, 0], [1, 1]]))
+        assert sample.n_cells == 2
+
+    def test_density(self):
+        sample = SampleSet((4, 4), np.array([[0, 0], [1, 1]]))
+        assert sample.density == pytest.approx(2 / 16)
+
+    def test_n_runs_excludes_time(self):
+        sample = SampleSet(
+            (3, 3, 3), np.array([[0, 0, 0], [0, 0, 1], [1, 0, 0]])
+        )
+        assert sample.n_runs(time_mode=2) == 2
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(SamplingError):
+            SampleSet((2, 2), np.array([[0, 3]]))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SamplingError):
+            SampleSet((2, 2), np.array([[0, 0, 0]]))
+
+
+class TestValidateBudget:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(BudgetError):
+            validate_budget(0, (4, 4))
+
+    def test_rejects_over_capacity(self):
+        with pytest.raises(BudgetError):
+            validate_budget(17, (4, 4))
+
+
+class TestRandomSampler:
+    def test_exact_budget(self):
+        sample = RandomSampler(seed=0).sample(SHAPE, 100)
+        assert sample.n_cells == 100
+
+    def test_no_duplicates(self):
+        sample = RandomSampler(seed=0).sample((4, 4), 10)
+        assert np.unique(sample.coords, axis=0).shape[0] == 10
+
+    def test_seed_reproducible(self):
+        a = RandomSampler(seed=5).sample(SHAPE, 50)
+        b = RandomSampler(seed=5).sample(SHAPE, 50)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_full_budget_covers_space(self):
+        sample = RandomSampler(seed=0).sample((3, 3), 9)
+        assert sample.n_cells == 9
+
+
+class TestGridHelpers:
+    def test_balanced_counts_within_budget(self):
+        counts = balanced_grid_counts(SHAPE, 100)
+        assert np.prod(counts) <= 100
+        # Greedy balance: no mode can be incremented without either
+        # blowing the budget or exceeding its size.
+        for mode in range(len(SHAPE)):
+            bumped = list(counts)
+            bumped[mode] += 1
+            assert (
+                bumped[mode] > SHAPE[mode] or np.prod(bumped) > 100
+            )
+
+    def test_counts_capped_by_mode(self):
+        counts = balanced_grid_counts((2, 50), 40)
+        assert counts[0] <= 2
+
+    def test_spread_indices(self):
+        indices = spread_indices(10, 3)
+        assert indices[0] == 0
+        assert indices[-1] == 9
+        assert len(indices) == 3
+
+    def test_spread_indices_full(self):
+        assert np.array_equal(spread_indices(4, 9), np.arange(4))
+
+
+class TestGridSampler:
+    def test_within_budget(self):
+        sample = GridSampler().sample(SHAPE, 200)
+        assert sample.n_cells <= 200
+
+    def test_is_lattice(self):
+        sample = GridSampler().sample(SHAPE, 64)
+        # Every mode uses a fixed set of values; the sample is their
+        # full cross product.
+        axes = [np.unique(sample.coords[:, m]) for m in range(5)]
+        assert sample.n_cells == int(np.prod([len(a) for a in axes]))
+
+    def test_deterministic(self):
+        a = GridSampler().sample(SHAPE, 100)
+        b = GridSampler().sample(SHAPE, 100)
+        assert np.array_equal(a.coords, b.coords)
+
+
+class TestSliceHelpers:
+    def test_choose_free_modes_prefers_trailing(self):
+        free = choose_free_modes(SHAPE, 6 * 6)
+        assert free == (3, 4)
+
+    def test_choose_free_modes_empty_when_budget_tiny(self):
+        assert choose_free_modes(SHAPE, 5) == ()
+
+
+class TestSliceSampler:
+    def test_within_budget(self):
+        sample = SliceSampler(seed=0).sample(SHAPE, 100)
+        assert sample.n_cells <= 100
+
+    def test_slices_are_full(self):
+        sample = SliceSampler(seed=0).sample(SHAPE, 72)
+        # free modes (3, 4): for each selected prefix, all 36 combos.
+        prefixes = np.unique(sample.coords[:, :3], axis=0)
+        assert sample.n_cells == prefixes.shape[0] * 36
+
+    def test_degenerates_to_random_when_budget_below_fiber(self):
+        sample = SliceSampler(seed=0).sample(SHAPE, 4)
+        assert sample.n_cells == 4

@@ -1,0 +1,101 @@
+"""Sub-ensemble selection: shared pivots, cross products, embedding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling import (
+    PFPartition,
+    PartitionBudget,
+    SubEnsembleSelection,
+    select_sub_ensembles,
+)
+
+SHAPE = (6, 6, 6, 6, 6)
+
+
+def partition():
+    return PFPartition(SHAPE, (4,), (0, 1), (2, 3))
+
+
+class TestSelectSubEnsembles:
+    def test_full_selection_enumerates_everything(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(6, 36, 36), seed=0
+        )
+        assert selection.pivot_configs.shape == (6, 1)
+        assert selection.free1.shape == (36, 2)
+        assert selection.sub_coords(1).shape == (216, 3)
+
+    def test_partial_selection_counts(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(3, 10, 12), seed=0
+        )
+        assert selection.pivot_configs.shape == (3, 1)
+        assert selection.free1.shape == (10, 2)
+        assert selection.free2.shape == (12, 2)
+        assert selection.total_cells() == 3 * 22
+
+    def test_pivots_shared_between_sides(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(3, 5, 5), seed=1
+        )
+        pivots1 = np.unique(selection.sub_coords(1)[:, 0])
+        pivots2 = np.unique(selection.sub_coords(2)[:, 0])
+        assert np.array_equal(pivots1, pivots2)
+
+    def test_no_duplicate_configs(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(4, 20, 20), seed=2
+        )
+        assert np.unique(selection.free1, axis=0).shape[0] == 20
+
+    def test_seed_reproducible(self):
+        a = select_sub_ensembles(partition(), PartitionBudget(3, 5, 5), seed=9)
+        b = select_sub_ensembles(partition(), PartitionBudget(3, 5, 5), seed=9)
+        assert np.array_equal(a.free1, b.free1)
+        assert np.array_equal(a.pivot_configs, b.pivot_configs)
+
+    def test_overdraw_rejected(self):
+        with pytest.raises(SamplingError):
+            select_sub_ensembles(partition(), PartitionBudget(7, 5, 5))
+
+
+class TestSubEnsembleSelection:
+    def test_budget_property(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(2, 3, 4), seed=0
+        )
+        budget = selection.budget
+        assert (budget.n_pivot, budget.n_free1, budget.n_free2) == (2, 3, 4)
+
+    def test_full_coords_pin_frozen_modes(self):
+        part = partition()
+        selection = select_sub_ensembles(part, PartitionBudget(2, 3, 3), seed=0)
+        full = selection.full_coords(1)
+        for mode in part.s2_free:
+            assert (full[:, mode] == part.fixed_indices[mode]).all()
+
+    def test_union_sample_set(self):
+        part = partition()
+        selection = select_sub_ensembles(part, PartitionBudget(2, 3, 3), seed=0)
+        union = selection.union_sample_set()
+        assert union.shape == SHAPE
+        assert union.n_cells <= selection.total_cells()
+
+    def test_invalid_sub_system(self):
+        selection = select_sub_ensembles(
+            partition(), PartitionBudget(2, 3, 3), seed=0
+        )
+        with pytest.raises(SamplingError):
+            selection.free_configs(0)
+
+    def test_rejects_wrong_width(self):
+        part = partition()
+        with pytest.raises(SamplingError):
+            SubEnsembleSelection(
+                part,
+                pivot_configs=np.zeros((2, 2), dtype=int),
+                free1=np.zeros((3, 2), dtype=int),
+                free2=np.zeros((3, 2), dtype=int),
+            )

@@ -1,0 +1,112 @@
+"""Ensemble tensor construction and simulation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    DoublePendulum,
+    ParameterSpace,
+    SimulationMeter,
+    ensemble_from_truth,
+    full_space_tensor,
+    make_observation,
+    simulate_fibers,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = ParameterSpace(DoublePendulum(), resolution=4)
+    obs = make_observation(space)
+    truth = full_space_tensor(space, obs)
+    return space, obs, truth
+
+
+class TestSimulateFibers:
+    def test_matches_scalar_pipeline(self, setup):
+        space, obs, _truth = setup
+        indices = np.array([[0, 1, 2, 3], [3, 3, 3, 3]])
+        fibers = simulate_fibers(space, obs, indices)
+        for row, index in enumerate(indices):
+            states = space.system.simulate(
+                space.params_from_indices(index)
+            )[space.time_indices]
+            expected = np.linalg.norm(states - obs.states, axis=1)
+            assert np.allclose(fibers[row], expected, atol=1e-10)
+
+    def test_meter_charged(self, setup):
+        space, obs, _truth = setup
+        meter = SimulationMeter()
+        simulate_fibers(space, obs, np.zeros((3, 4), dtype=int), meter=meter)
+        assert meter.runs == 3
+        assert meter.cells == 3 * space.time_resolution
+        assert meter.wall_seconds > 0
+
+    def test_rejects_bad_shape(self, setup):
+        space, obs, _truth = setup
+        with pytest.raises(SimulationError):
+            simulate_fibers(space, obs, np.zeros((3, 2), dtype=int))
+
+
+class TestFullSpaceTensor:
+    def test_shape_and_chunking_invariance(self, setup):
+        space, obs, truth = setup
+        assert truth.shape == space.shape
+        rechunked = full_space_tensor(space, obs, chunk_size=7)
+        assert np.allclose(rechunked, truth)
+
+    def test_spot_check_cell(self, setup):
+        space, obs, truth = setup
+        index = (1, 2, 3, 0)
+        states = space.system.simulate(space.params_from_indices(index))[
+            space.time_indices
+        ]
+        expected = np.linalg.norm(states - obs.states, axis=1)
+        assert np.allclose(truth[index], expected, atol=1e-10)
+
+    def test_rejects_bad_chunk(self, setup):
+        space, obs, _truth = setup
+        with pytest.raises(SimulationError):
+            full_space_tensor(space, obs, chunk_size=0)
+
+
+class TestEnsembleFromTruth:
+    def test_values_read_from_truth(self, setup):
+        space, _obs, truth = setup
+        coords = np.array([[0, 0, 0, 0, 0], [1, 2, 3, 0, 2]])
+        tensor = ensemble_from_truth(truth, space, coords)
+        assert tensor.get((0, 0, 0, 0, 0)) == pytest.approx(truth[0, 0, 0, 0, 0])
+        assert tensor.get((1, 2, 3, 0, 2)) == pytest.approx(truth[1, 2, 3, 0, 2])
+
+    def test_meter_counts_distinct_runs(self, setup):
+        space, _obs, truth = setup
+        coords = np.array(
+            [[0, 0, 0, 0, 0], [0, 0, 0, 0, 1], [1, 0, 0, 0, 0]]
+        )
+        meter = SimulationMeter()
+        ensemble_from_truth(truth, space, coords, meter=meter)
+        assert meter.runs == 2  # two distinct parameter combos
+        assert meter.cells == 3
+
+    def test_rejects_bad_coords(self, setup):
+        space, _obs, truth = setup
+        with pytest.raises(SimulationError):
+            ensemble_from_truth(truth, space, np.zeros((2, 3), dtype=int))
+
+    def test_rejects_truth_mismatch(self, setup):
+        space, _obs, truth = setup
+        with pytest.raises(SimulationError):
+            ensemble_from_truth(
+                truth[..., :-1], space, np.zeros((1, 5), dtype=int)
+            )
+
+
+class TestSimulationMeter:
+    def test_merge(self):
+        a = SimulationMeter(runs=2, cells=10, wall_seconds=1.0)
+        b = SimulationMeter(runs=3, cells=5, wall_seconds=0.5)
+        a.merge(b)
+        assert a.runs == 5
+        assert a.cells == 15
+        assert a.wall_seconds == pytest.approx(1.5)

@@ -1,0 +1,111 @@
+"""ODE integrators: order of accuracy, batching, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import euler, rk4, rk45, rk4_sampled
+
+
+def exponential(_t, y):
+    return -y
+
+
+def oscillator(_t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestEuler:
+    def test_converges_first_order(self):
+        y0 = np.array([1.0])
+        _t, coarse = euler(exponential, y0, 0.0, 1.0, 50)
+        _t, fine = euler(exponential, y0, 0.0, 1.0, 100)
+        exact = np.exp(-1.0)
+        error_ratio = abs(coarse[-1, 0] - exact) / abs(fine[-1, 0] - exact)
+        assert 1.5 < error_ratio < 2.5  # halving h halves the error
+
+    def test_output_shapes(self):
+        times, states = euler(oscillator, [1.0, 0.0], 0.0, 2.0, 10)
+        assert times.shape == (11,)
+        assert states.shape == (11, 2)
+
+
+class TestRk4:
+    def test_fourth_order_accuracy(self):
+        y0 = np.array([1.0])
+        _t, coarse = rk4(exponential, y0, 0.0, 1.0, 20)
+        _t, fine = rk4(exponential, y0, 0.0, 1.0, 40)
+        exact = np.exp(-1.0)
+        ratio = abs(coarse[-1, 0] - exact) / abs(fine[-1, 0] - exact)
+        assert 12 < ratio < 20  # ~2^4
+
+    def test_oscillator_energy(self):
+        _t, states = rk4(oscillator, [1.0, 0.0], 0.0, 10.0, 2000)
+        energy = states[:, 0] ** 2 + states[:, 1] ** 2
+        assert np.allclose(energy, 1.0, atol=1e-8)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(SimulationError):
+            rk4(exponential, [1.0], 0.0, 1.0, 0)
+        with pytest.raises(SimulationError):
+            rk4(exponential, [1.0], 1.0, 0.0, 10)
+
+    def test_divergence_detected(self):
+        with np.errstate(over="ignore", invalid="ignore"):
+            with pytest.raises(SimulationError):
+                rk4(lambda _t, y: y**2, np.array([10.0]), 0.0, 10.0, 100)
+
+
+class TestRk45:
+    def test_matches_exact_solution(self):
+        times, states = rk45(exponential, [1.0], 0.0, 2.0)
+        assert times[-1] == pytest.approx(2.0)
+        assert states[-1, 0] == pytest.approx(np.exp(-2.0), rel=1e-6)
+
+    def test_agrees_with_rk4(self):
+        _t, dense = rk4(oscillator, [1.0, 0.0], 0.0, 5.0, 5000)
+        _times, adaptive = rk45(oscillator, [1.0, 0.0], 0.0, 5.0)
+        assert np.allclose(adaptive[-1], dense[-1], atol=1e-5)
+
+
+class TestRk4Sampled:
+    def test_matches_full_rk4(self):
+        y0 = np.array([[1.0, 0.0], [0.5, 0.5]])
+        sample_steps = np.array([0, 7, 20])
+
+        def batched(_t, y):
+            return np.stack([y[:, 1], -y[:, 0]], axis=1)
+
+        sampled = rk4_sampled(batched, y0, 0.0, 2.0, 20, sample_steps)
+        assert sampled.shape == (3, 2, 2)
+        for row, y_start in enumerate(y0):
+            _t, full = rk4(oscillator, y_start, 0.0, 2.0, 20)
+            assert np.allclose(sampled[:, row, :], full[sample_steps])
+
+    def test_rejects_unsorted_samples(self):
+        with pytest.raises(SimulationError):
+            rk4_sampled(
+                lambda _t, y: -y, np.ones((1, 1)), 0.0, 1.0, 10,
+                np.array([5, 2]),
+            )
+
+    def test_rejects_out_of_range_samples(self):
+        with pytest.raises(SimulationError):
+            rk4_sampled(
+                lambda _t, y: -y, np.ones((1, 1)), 0.0, 1.0, 10,
+                np.array([0, 11]),
+            )
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(SimulationError):
+            rk4_sampled(
+                lambda _t, y: -y, np.ones((1, 1)), 0.0, 1.0, 10,
+                np.array([], dtype=int),
+            )
+
+    def test_repeated_sample_steps(self):
+        sampled = rk4_sampled(
+            lambda _t, y: -y, np.ones((1, 1)), 0.0, 1.0, 10,
+            np.array([0, 0, 10]),
+        )
+        assert np.allclose(sampled[0], sampled[1])

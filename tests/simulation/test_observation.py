@@ -1,0 +1,70 @@
+"""Observation construction and distance computation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    DoublePendulum,
+    ParameterSpace,
+    make_observation,
+)
+
+
+@pytest.fixture()
+def space():
+    return ParameterSpace(DoublePendulum(), resolution=5)
+
+
+class TestMakeObservation:
+    def test_default_offset(self, space):
+        obs = make_observation(space)
+        for param in space.system.parameters:
+            expected = param.low + 0.6 * (param.high - param.low)
+            assert obs.true_params[param.name] == pytest.approx(expected)
+
+    def test_states_shape(self, space):
+        obs = make_observation(space)
+        assert obs.states.shape == (space.time_resolution, 4)
+
+    def test_explicit_true_params(self, space):
+        params = {"phi1": 0.5, "m1": 1.0, "phi2": 0.7, "m2": 2.0}
+        obs = make_observation(space, true_params=params)
+        assert obs.true_params == params
+
+    def test_missing_param_rejected(self, space):
+        with pytest.raises(SimulationError):
+            make_observation(space, true_params={"phi1": 0.5})
+
+    def test_bad_offset_rejected(self, space):
+        with pytest.raises(SimulationError):
+            make_observation(space, offset=1.5)
+
+    def test_observation_matches_direct_simulation(self, space):
+        obs = make_observation(space)
+        trajectory = space.system.simulate(obs.true_params)
+        assert np.allclose(obs.states, trajectory[space.time_indices])
+
+
+class TestDistances:
+    def test_zero_for_reference_itself(self, space):
+        obs = make_observation(space)
+        assert np.allclose(obs.distances(obs.states), 0.0)
+
+    def test_batch_axis(self, space):
+        obs = make_observation(space)
+        batch = np.stack([obs.states, obs.states + 1.0], axis=1)
+        distances = obs.distances(batch)
+        assert distances.shape == (space.time_resolution, 2)
+        assert np.allclose(distances[:, 0], 0.0)
+        assert np.allclose(distances[:, 1], 2.0)  # sqrt(4 * 1^2)
+
+    def test_rejects_time_mismatch(self, space):
+        obs = make_observation(space)
+        with pytest.raises(SimulationError):
+            obs.distances(obs.states[:-1])
+
+    def test_rejects_state_dim_mismatch(self, space):
+        obs = make_observation(space)
+        with pytest.raises(SimulationError):
+            obs.distances(obs.states[:, :2])

@@ -1,0 +1,107 @@
+"""Physics checks: the pendulum equations of motion are right."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    DoublePendulum,
+    TriplePendulum,
+    chain_pendulum_derivative,
+    rk4,
+)
+
+
+class TestDoublePendulumPhysics:
+    def test_energy_conserved(self):
+        system = DoublePendulum()
+        params = {"phi1": 0.4, "m1": 1.3, "phi2": 0.9, "m2": 0.7}
+        _t, states = rk4(
+            system.derivative(params),
+            system.initial_state(params),
+            0.0,
+            5.0,
+            20_000,
+        )
+        energies = [system.total_energy(params, s) for s in states[::1000]]
+        assert np.allclose(energies, energies[0], atol=1e-5)
+
+    def test_small_angle_frequency(self):
+        """In the small-angle, equal-mass limit the slow normal mode of
+        the equal-length double pendulum has frequency
+        ``sqrt((2 - sqrt(2)) * g / L)``."""
+        system = DoublePendulum(gravity=9.81, length=1.0)
+        # Excite (approximately) the in-phase normal mode.
+        amplitude = 0.02
+        params = {
+            "phi1": amplitude,
+            "m1": 1.0,
+            "phi2": amplitude * np.sqrt(2),
+            "m2": 1.0,
+        }
+        omega = np.sqrt((2 - np.sqrt(2)) * 9.81)
+        period = 2 * np.pi / omega
+        _t, states = rk4(
+            system.derivative(params),
+            system.initial_state(params),
+            0.0,
+            period,
+            4000,
+        )
+        # After one slow-mode period the state returns near the start.
+        assert np.allclose(states[-1][0], amplitude, atol=amplitude * 0.1)
+
+    def test_matches_chain_formulation(self):
+        """The closed-form double-pendulum RHS must agree with the
+        generic n-link chain formulation (friction = 0)."""
+        system = DoublePendulum()
+        params = {"phi1": 0.8, "m1": 2.0, "phi2": 1.1, "m2": 0.6}
+        closed_form = system.derivative(params)
+        chain = chain_pendulum_derivative(
+            masses=[2.0, 0.6], length=1.0, gravity=9.81, friction=0.0
+        )
+        state = np.array([0.8, 0.3, 1.1, -0.2])
+        chain_state = np.array([0.8, 1.1, 0.3, -0.2])  # (thetas, omegas)
+        ours = closed_form(0.0, state)
+        theirs = chain(0.0, chain_state)
+        assert ours[1] == pytest.approx(theirs[2], rel=1e-10)  # alpha1
+        assert ours[3] == pytest.approx(theirs[3], rel=1e-10)  # alpha2
+
+
+class TestTriplePendulumPhysics:
+    def test_friction_dissipates(self):
+        """With friction the joint speeds decay; without, they do not."""
+        system = TriplePendulum()
+        system.t_end = 15.0  # long enough for the damping to bite
+        system.n_steps = 600
+        base = {"phi1": 0.5, "phi2": 0.5, "phi3": 0.5}
+        frictionless = system.simulate({**base, "f": 0.0})
+        damped = system.simulate({**base, "f": 1.0})
+        speed = lambda states: np.abs(states[:, 3:]).sum(axis=1)
+        assert speed(damped)[-1] < 0.2 * speed(frictionless).max()
+
+    def test_equilibrium_is_fixed_point(self):
+        system = TriplePendulum()
+        deriv = system.derivative({"f": 0.3})
+        assert np.allclose(deriv(0.0, np.zeros(6)), 0.0)
+
+    def test_small_angle_stays_bounded(self):
+        system = TriplePendulum()
+        states = system.simulate(
+            {"phi1": 0.05, "phi2": 0.05, "phi3": 0.05, "f": 0.0}
+        )
+        assert np.abs(states[:, :3]).max() < 0.2
+
+
+class TestChainDerivative:
+    def test_single_pendulum_reduces_to_textbook(self):
+        deriv = chain_pendulum_derivative([1.0], 1.0, 9.81, 0.0)
+        theta = 0.3
+        out = deriv(0.0, np.array([theta, 0.0]))
+        assert out[1] == pytest.approx(-9.81 * np.sin(theta))
+
+    def test_friction_enters_linearly(self):
+        state = np.array([0.4, 0.2, 0.0, 1.0, -0.5, 0.3])
+        d0 = chain_pendulum_derivative([1.0] * 3, 1.0, 9.81, 0.0)(0.0, state)
+        d1 = chain_pendulum_derivative([1.0] * 3, 1.0, 9.81, 0.5)(0.0, state)
+        d2 = chain_pendulum_derivative([1.0] * 3, 1.0, 9.81, 1.0)(0.0, state)
+        assert np.allclose(d2 - d1, d1 - d0, atol=1e-10)

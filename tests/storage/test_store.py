@@ -1,0 +1,106 @@
+"""BlockTensorStore: persistence, queries, catalog consistency."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import BlockTensorStore
+from repro.tensor import SparseTensor, random_sparse
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return BlockTensorStore(tmp_path / "tensors")
+
+
+@pytest.fixture()
+def tensor():
+    return random_sparse((9, 7, 5), 0.15, seed=4)
+
+
+class TestPutGet:
+    def test_roundtrip(self, store, tensor):
+        store.put("ens", tensor, block_shape=(4, 4, 4))
+        assert store.get("ens") == tensor
+
+    def test_default_block_shape(self, store, tensor):
+        entry = store.put("ens", tensor)
+        assert entry.n_blocks >= 1
+        assert store.get("ens") == tensor
+
+    def test_no_silent_overwrite(self, store, tensor):
+        store.put("ens", tensor)
+        with pytest.raises(StorageError):
+            store.put("ens", tensor)
+        store.put("ens", tensor, overwrite=True)  # explicit is fine
+
+    def test_overwrite_removes_stale_blocks(self, store):
+        big = random_sparse((8, 8), 0.9, seed=1)
+        small = SparseTensor((8, 8), [[0, 0]], [1.0])
+        store.put("t", big, block_shape=(2, 2))
+        store.put("t", small, block_shape=(8, 8), overwrite=True)
+        assert store.get("t") == small
+
+    def test_invalid_name(self, store, tensor):
+        with pytest.raises(StorageError):
+            store.put("../escape", tensor)
+
+    def test_unknown_name(self, store):
+        with pytest.raises(StorageError):
+            store.get("nope")
+
+    def test_names(self, store, tensor):
+        store.put("b", tensor)
+        store.put("a", tensor)
+        assert store.names() == ["a", "b"]
+
+
+class TestBlockAccess:
+    def test_get_block_local_shape(self, store, tensor):
+        store.put("ens", tensor, block_shape=(4, 4, 4))
+        layout = store.layout("ens")
+        block = store.get_block("ens", (0, 0, 0))
+        assert block.shape == layout.block_extent((0, 0, 0))
+
+    def test_empty_block_returns_empty_tensor(self, store):
+        sparse = SparseTensor((8, 8), [[0, 0]], [1.0])
+        store.put("t", sparse, block_shape=(4, 4))
+        assert store.get_block("t", (1, 1)).nnz == 0
+
+    def test_rejects_out_of_grid(self, store, tensor):
+        store.put("ens", tensor, block_shape=(4, 4, 4))
+        with pytest.raises(StorageError):
+            store.get_block("ens", (9, 0, 0))
+
+    def test_iter_blocks_covers_nnz(self, store, tensor):
+        store.put("ens", tensor, block_shape=(4, 4, 4))
+        total = sum(block.nnz for _id, block in store.iter_blocks("ens"))
+        assert total == tensor.nnz
+
+
+class TestSliceQuery:
+    def test_matches_dense_slice(self, store, tensor):
+        store.put("ens", tensor, block_shape=(4, 3, 2))
+        dense = tensor.to_dense()
+        for mode, index in [(0, 3), (1, 6), (2, 0)]:
+            result = store.slice_query("ens", mode, index)
+            expected = np.zeros_like(dense)
+            slicer = [slice(None)] * 3
+            slicer[mode] = index
+            expected[tuple(slicer)] = dense[tuple(slicer)]
+            assert np.allclose(result.to_dense(), expected)
+
+
+class TestDelete:
+    def test_delete_removes_everything(self, store, tensor):
+        store.put("ens", tensor)
+        store.delete("ens")
+        assert store.names() == []
+        with pytest.raises(StorageError):
+            store.get("ens")
+
+    def test_catalog_survives_reopen(self, tmp_path, tensor):
+        path = tmp_path / "tensors"
+        BlockTensorStore(path).put("ens", tensor, block_shape=(4, 4, 4))
+        reopened = BlockTensorStore(path)
+        assert reopened.get("ens") == tensor

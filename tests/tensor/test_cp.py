@@ -1,0 +1,78 @@
+"""CP-ALS: recovery of low-rank structure and container invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.tensor import CPTensor, cp_als, outer
+
+
+def rank_r_tensor(rng, shape, rank):
+    factors = [rng.standard_normal((s, rank)) for s in shape]
+    tensor = np.zeros(shape)
+    for r in range(rank):
+        tensor += outer([f[:, r] for f in factors])
+    return tensor
+
+
+class TestCPTensor:
+    def test_reconstruct_rank_one(self, rng):
+        u = rng.standard_normal(4)
+        v = rng.standard_normal(5)
+        w = rng.standard_normal(3)
+        model = CPTensor(
+            weights=[1.0],
+            factors=[u[:, None], v[:, None], w[:, None]],
+        )
+        assert np.allclose(model.reconstruct(), outer([u, v, w]))
+
+    def test_weights_scale(self, rng):
+        u = rng.standard_normal(4)[:, None]
+        v = rng.standard_normal(5)[:, None]
+        model = CPTensor([2.0], [u, v])
+        assert np.allclose(model.reconstruct(), 2.0 * np.outer(u, v))
+
+    def test_rejects_bad_factor(self, rng):
+        with pytest.raises(ShapeError):
+            CPTensor([1.0, 1.0], [rng.standard_normal((4, 1))])
+
+    def test_properties(self, rng):
+        model = CPTensor(
+            [1.0, 2.0],
+            [rng.standard_normal((4, 2)), rng.standard_normal((5, 2))],
+        )
+        assert model.rank == 2
+        assert model.shape == (4, 5)
+
+
+class TestCpAls:
+    def test_recovers_rank_one(self, rng):
+        tensor = rank_r_tensor(rng, (5, 6, 7), 1)
+        model = cp_als(tensor, 1)
+        assert model.relative_error(tensor) < 1e-8
+
+    def test_recovers_rank_two(self, rng):
+        tensor = rank_r_tensor(rng, (6, 7, 8), 2)
+        model = cp_als(tensor, 2, n_iter=200)
+        assert model.relative_error(tensor) < 1e-6
+
+    def test_error_decreases_with_rank(self, rng):
+        tensor = rng.standard_normal((5, 5, 5))
+        errors = [
+            cp_als(tensor, r, n_iter=30).relative_error(tensor)
+            for r in (1, 3)
+        ]
+        assert errors[1] <= errors[0] + 1e-8
+
+    def test_matrix_input(self, rng):
+        matrix = rank_r_tensor(rng, (6, 7), 2)
+        model = cp_als(matrix, 2, n_iter=100)
+        assert model.relative_error(matrix) < 1e-6
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(RankError):
+            cp_als(rng.standard_normal((3, 3)), 0)
+
+    def test_rejects_vector(self, rng):
+        with pytest.raises(ShapeError):
+            cp_als(rng.standard_normal(5), 1)

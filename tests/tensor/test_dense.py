@@ -1,0 +1,77 @@
+"""Dense-tensor helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor import (
+    SparseTensor,
+    as_tensor,
+    mask_like,
+    mode_means,
+    normalize,
+    pad_to_shape,
+)
+
+
+class TestAsTensor:
+    def test_coerces_dtype(self):
+        tensor = as_tensor([[1, 2], [3, 4]])
+        assert tensor.dtype == np.float64
+
+    def test_ndim_check(self):
+        with pytest.raises(ShapeError):
+            as_tensor(np.zeros((2, 2)), ndim=3)
+
+
+class TestModeMeans:
+    def test_values(self, rng):
+        tensor = rng.standard_normal((3, 4, 5))
+        means = mode_means(tensor, 1)
+        assert means.shape == (4,)
+        assert means[2] == pytest.approx(tensor[:, 2, :].mean())
+
+
+class TestNormalize:
+    def test_unit_norm(self, rng):
+        tensor = rng.standard_normal((4, 4))
+        assert np.linalg.norm(normalize(tensor)) == pytest.approx(1.0)
+
+    def test_zero_passthrough(self):
+        zeros = np.zeros((2, 2))
+        assert np.array_equal(normalize(zeros), zeros)
+
+
+class TestMaskLike:
+    def test_samples_values(self, rng):
+        dense = rng.standard_normal((4, 5))
+        pattern = SparseTensor((4, 5), [[0, 0], [3, 4]], [9.0, 9.0])
+        masked = mask_like(dense, pattern)
+        assert masked.get((0, 0)) == pytest.approx(dense[0, 0])
+        assert masked.get((3, 4)) == pytest.approx(dense[3, 4])
+        assert masked.nnz == 2
+
+    def test_empty_pattern(self, rng):
+        dense = rng.standard_normal((3, 3))
+        assert mask_like(dense, SparseTensor((3, 3))).nnz == 0
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            mask_like(rng.standard_normal((3, 3)), SparseTensor((2, 2)))
+
+
+class TestPadToShape:
+    def test_pads_with_zeros(self, rng):
+        tensor = rng.standard_normal((2, 3))
+        padded = pad_to_shape(tensor, (4, 3))
+        assert padded.shape == (4, 3)
+        assert np.allclose(padded[:2], tensor)
+        assert np.allclose(padded[2:], 0)
+
+    def test_rejects_shrink(self, rng):
+        with pytest.raises(ShapeError):
+            pad_to_shape(rng.standard_normal((3, 3)), (2, 3))
+
+    def test_rejects_order_change(self, rng):
+        with pytest.raises(ShapeError):
+            pad_to_shape(rng.standard_normal((3, 3)), (3, 3, 1))

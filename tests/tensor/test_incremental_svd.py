@@ -1,0 +1,96 @@
+"""Incremental SVD updates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.tensor.incremental_svd import append_cols, append_rows, exact_svd
+
+
+class TestAppendRows:
+    def test_exact_at_full_rank(self, rng):
+        matrix = rng.standard_normal((10, 8))
+        rows = rng.standard_normal((3, 8))
+        u, s, vt = exact_svd(matrix, 8)
+        u2, s2, vt2 = append_rows(u, s, vt, rows, rank=8)
+        full = np.vstack([matrix, rows])
+        assert np.allclose((u2 * s2) @ vt2, full, atol=1e-10)
+        _ue, se, _vte = exact_svd(full, 8)
+        assert np.allclose(s2, se, atol=1e-10)
+
+    def test_orthonormal_output(self, rng):
+        matrix = rng.standard_normal((10, 8))
+        u, s, vt = exact_svd(matrix, 4)
+        u2, _s2, vt2 = append_rows(u, s, vt, rng.standard_normal((2, 8)), 4)
+        assert np.allclose(u2.T @ u2, np.eye(4), atol=1e-10)
+        assert np.allclose(vt2 @ vt2.T, np.eye(4), atol=1e-10)
+
+    def test_truncated_update_close_to_batch(self, rng):
+        matrix = rng.standard_normal((20, 12))
+        rows = rng.standard_normal((4, 12))
+        u, s, vt = exact_svd(matrix, 5)
+        _u2, s2, _vt2 = append_rows(u, s, vt, rows, rank=5)
+        _ue, se, _vte = exact_svd(np.vstack([matrix, rows]), 5)
+        assert np.abs(s2 - se).max() / se.max() < 0.1
+
+    def test_single_row_vector(self, rng):
+        matrix = rng.standard_normal((6, 5))
+        u, s, vt = exact_svd(matrix, 5)
+        row = rng.standard_normal(5)
+        u2, s2, vt2 = append_rows(u, s, vt, row, rank=5)
+        assert u2.shape == (7, 5)
+
+    def test_rejects_column_mismatch(self, rng):
+        matrix = rng.standard_normal((6, 5))
+        u, s, vt = exact_svd(matrix, 3)
+        with pytest.raises(ShapeError):
+            append_rows(u, s, vt, rng.standard_normal((2, 4)), 3)
+
+    def test_rejects_bad_rank(self, rng):
+        matrix = rng.standard_normal((6, 5))
+        u, s, vt = exact_svd(matrix, 3)
+        with pytest.raises(RankError):
+            append_rows(u, s, vt, rng.standard_normal((2, 5)), 0)
+
+    def test_rejects_inconsistent_triple(self, rng):
+        with pytest.raises(ShapeError):
+            append_rows(
+                rng.standard_normal((5, 3)),
+                np.ones(2),
+                rng.standard_normal((3, 4)),
+                rng.standard_normal((1, 4)),
+                2,
+            )
+
+    def test_in_subspace_rows(self, rng):
+        """Rows already inside the right space need no basis growth."""
+        matrix = rng.standard_normal((8, 6))
+        u, s, vt = exact_svd(matrix, 6)
+        rows = rng.standard_normal((2, 6)) @ vt.T @ vt  # project in
+        u2, s2, vt2 = append_rows(u, s, vt, rows, rank=6)
+        full = np.vstack([matrix, rows])
+        assert np.allclose((u2 * s2) @ vt2, full, atol=1e-9)
+
+
+class TestAppendCols:
+    def test_exact_at_full_rank(self, rng):
+        matrix = rng.standard_normal((10, 8))
+        cols = rng.standard_normal((10, 4))
+        u, s, vt = exact_svd(matrix, 8)
+        u2, s2, vt2 = append_cols(u, s, vt, cols, rank=10)
+        full = np.hstack([matrix, cols])
+        assert np.allclose((u2 * s2) @ vt2, full, atol=1e-10)
+
+    def test_top_singular_values_match(self, rng):
+        matrix = rng.standard_normal((10, 8))
+        cols = rng.standard_normal((10, 4))
+        u, s, vt = exact_svd(matrix, 8)
+        _u2, s2, _vt2 = append_cols(u, s, vt, cols, rank=8)
+        _ue, se, _vte = exact_svd(np.hstack([matrix, cols]), 8)
+        assert np.allclose(s2, se, atol=1e-10)
+
+    def test_rejects_row_mismatch(self, rng):
+        matrix = rng.standard_normal((6, 5))
+        u, s, vt = exact_svd(matrix, 3)
+        with pytest.raises(ShapeError):
+            append_cols(u, s, vt, rng.standard_normal((5, 2)), 3)

@@ -1,0 +1,76 @@
+"""MACH randomized Tucker via entry subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.tensor import (
+    SparseTensor,
+    mach_error_vs_exact,
+    mach_tucker,
+    random_low_rank,
+    sparsify,
+)
+
+
+class TestSparsify:
+    def test_unbiased_in_expectation(self):
+        dense = np.full((10, 10, 10), 2.0)
+        sketch = sparsify(dense, 0.5, seed=0)
+        # scaled survivors: mean of the sketch cells approximates the
+        # original total
+        assert sketch.values.sum() == pytest.approx(
+            dense.sum(), rel=0.15
+        )
+
+    def test_keep_probability_one_is_identity(self):
+        dense = np.arange(8.0).reshape(2, 2, 2) + 1
+        sketch = sparsify(dense, 1.0, seed=0)
+        assert np.allclose(sketch.to_dense(), dense)
+
+    def test_sparse_input(self):
+        from repro.tensor import random_sparse
+
+        tensor = random_sparse((10, 10), 0.5, seed=1)
+        sketch = sparsify(tensor, 0.5, seed=2)
+        assert sketch.nnz <= tensor.nnz
+        # surviving values are scaled by 1/p
+        for index, value in sketch.items():
+            assert value == pytest.approx(tensor.get(index) * 2.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ShapeError):
+            sparsify(np.zeros((2, 2)), 0.0)
+        with pytest.raises(ShapeError):
+            sparsify(np.zeros((2, 2)), 1.5)
+
+
+class TestMachTucker:
+    def test_full_probability_equals_hosvd(self):
+        from repro.tensor import hosvd
+
+        truth = random_low_rank((8, 8, 8), (2, 2, 2), seed=3)
+        exact = hosvd(truth, (2, 2, 2))
+        sketched = mach_tucker(truth, (2, 2, 2), keep_probability=1.0, seed=0)
+        assert np.allclose(
+            exact.reconstruct(), sketched.reconstruct(), atol=1e-8
+        )
+
+    def test_error_decreases_with_probability(self):
+        truth = random_low_rank((10, 10, 10), (2, 2, 2), seed=4)
+        errors = [
+            np.median(
+                [
+                    mach_error_vs_exact(truth, (2, 2, 2), p, seed=s)
+                    for s in range(5)
+                ]
+            )
+            for p in (0.2, 0.9)
+        ]
+        assert errors[1] < errors[0]
+
+    def test_empty_sketch_rejected(self):
+        tensor = SparseTensor((50, 50), [[0, 0]], [1.0])
+        with pytest.raises(RankError):
+            # keeping ~1e-9 of a single cell will drop it
+            mach_tucker(tensor, (1, 1), keep_probability=1e-9, seed=1)

@@ -1,0 +1,65 @@
+"""Energy-threshold rank selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError
+from repro.tensor import (
+    SparseTensor,
+    describe_rank_profile,
+    energy_rank_of_matrix,
+    energy_threshold_ranks,
+    random_low_rank,
+)
+
+
+class TestEnergyRankOfMatrix:
+    def test_exact_low_rank(self, rng):
+        u = rng.standard_normal((10, 2))
+        v = rng.standard_normal((8, 2))
+        matrix = u @ v.T
+        assert energy_rank_of_matrix(matrix, 0.999) == 2
+
+    def test_threshold_monotone(self, rng):
+        matrix = rng.standard_normal((12, 12))
+        r_low = energy_rank_of_matrix(matrix, 0.5)
+        r_high = energy_rank_of_matrix(matrix, 0.99)
+        assert r_low <= r_high
+
+    def test_max_rank_cap(self, rng):
+        matrix = rng.standard_normal((12, 12))
+        assert energy_rank_of_matrix(matrix, 0.999, max_rank=3) <= 3
+
+    def test_zero_matrix(self):
+        assert energy_rank_of_matrix(np.zeros((4, 4)), 0.9) == 1
+
+    def test_rejects_bad_threshold(self, rng):
+        with pytest.raises(RankError):
+            energy_rank_of_matrix(rng.standard_normal((3, 3)), 0.0)
+        with pytest.raises(RankError):
+            energy_rank_of_matrix(rng.standard_normal((3, 3)), 1.5)
+
+
+class TestEnergyThresholdRanks:
+    def test_recovers_multilinear_rank(self):
+        tensor = random_low_rank((8, 8, 8), (2, 3, 2), seed=0)
+        assert energy_threshold_ranks(tensor, 0.9999) == (2, 3, 2)
+
+    def test_sparse_input(self):
+        dense = random_low_rank((8, 8, 8), (2, 2, 2), seed=1)
+        sparse = SparseTensor.from_dense(dense, keep_zeros=True)
+        assert energy_threshold_ranks(
+            sparse, 0.9999
+        ) == energy_threshold_ranks(dense, 0.9999)
+
+    def test_lower_threshold_never_larger(self, rng):
+        tensor = rng.standard_normal((6, 6, 6))
+        low = energy_threshold_ranks(tensor, 0.5)
+        high = energy_threshold_ranks(tensor, 0.99)
+        assert all(l <= h for l, h in zip(low, high))
+
+    def test_profile(self, rng):
+        tensor = rng.standard_normal((5, 5, 5))
+        profile = describe_rank_profile(tensor, thresholds=(0.5, 0.9))
+        assert set(profile) == {0.5, 0.9}
+        assert len(profile[0.5]) == 3

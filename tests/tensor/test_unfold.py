@@ -1,0 +1,78 @@
+"""Unfold/fold: the matricization convention everything else rests on."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModeError, ShapeError
+from repro.tensor import fold, unfold, unfold_row_index
+
+
+class TestUnfold:
+    def test_shape(self):
+        tensor = np.arange(24.0).reshape(2, 3, 4)
+        assert unfold(tensor, 0).shape == (2, 12)
+        assert unfold(tensor, 1).shape == (3, 8)
+        assert unfold(tensor, 2).shape == (4, 6)
+
+    def test_mode0_columns_are_fibers(self):
+        tensor = np.arange(24.0).reshape(2, 3, 4)
+        matrix = unfold(tensor, 0)
+        # Column 0 must be the (.,0,0) fiber.
+        assert np.array_equal(matrix[:, 0], tensor[:, 0, 0])
+
+    def test_fortran_column_order(self):
+        # The first non-unfolded mode varies fastest along columns.
+        tensor = np.arange(24.0).reshape(2, 3, 4)
+        matrix = unfold(tensor, 0)
+        assert np.array_equal(matrix[:, 1], tensor[:, 1, 0])
+        assert np.array_equal(matrix[:, 3], tensor[:, 0, 1])
+
+    def test_negative_mode(self):
+        tensor = np.arange(24.0).reshape(2, 3, 4)
+        assert np.array_equal(unfold(tensor, -1), unfold(tensor, 2))
+
+    def test_matrix_unfold_is_identity_or_transpose(self):
+        matrix = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(unfold(matrix, 0), matrix)
+        assert np.array_equal(unfold(matrix, 1), matrix.T)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ModeError):
+            unfold(np.zeros((2, 2)), 5)
+        with pytest.raises(ModeError):
+            unfold(np.zeros((2, 2)), 1.5)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ShapeError):
+            unfold(np.array(3.0), 0)
+
+
+class TestFold:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_roundtrip(self, mode, rng):
+        tensor = rng.standard_normal((3, 4, 2, 5))
+        matrix = unfold(tensor, mode)
+        assert np.allclose(fold(matrix, mode, tensor.shape), tensor)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 5)), 0, (3, 4))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 4, 2)), 0, (3, 8))
+
+
+class TestUnfoldRowIndex:
+    def test_matches_dense_unfold(self, rng):
+        shape = (3, 4, 5)
+        tensor = rng.standard_normal(shape)
+        for mode in range(3):
+            matrix = unfold(tensor, mode)
+            for multi_index in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+                row, col = unfold_row_index(multi_index, shape, mode)
+                assert matrix[row, col] == tensor[multi_index]
+
+    def test_rejects_bad_index_length(self):
+        with pytest.raises(ShapeError):
+            unfold_row_index((0, 0), (2, 3, 4), 0)

@@ -1,0 +1,109 @@
+"""Cross-module integration: the paper's full story on small studies."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnsembleStudy
+from repro.distributed import ClusterModel, distributed_m2td
+from repro.sampling import (
+    GridSampler,
+    RandomSampler,
+    SliceSampler,
+    budget_for_fractions,
+)
+from repro.storage import BlockTensorStore
+from repro.tensor import SparseTensor
+
+RANKS = [3] * 5
+
+
+class TestHeadlineStory:
+    """Table II's comparison, end to end, on the shared tiny study."""
+
+    def test_m2td_orders_of_magnitude_better(self, pendulum_study):
+        study = pendulum_study
+        budget = study.matched_budget()
+        m2td = {
+            variant: study.run_m2td(RANKS, variant=variant, seed=1)
+            for variant in ("avg", "concat", "select")
+        }
+        conventional = {
+            sampler.name: study.run_conventional(sampler, budget, RANKS)
+            for sampler in (RandomSampler(1), GridSampler(), SliceSampler(1))
+        }
+        worst_m2td = min(r.accuracy for r in m2td.values())
+        best_conventional = max(r.accuracy for r in conventional.values())
+        assert worst_m2td > 5 * max(best_conventional, 1e-9)
+
+    def test_m2td_slower_but_worth_it(self, pendulum_study):
+        """The paper: M2TD costs more decomposition time than the
+        conventional schemes (denser stitched tensor)."""
+        study = pendulum_study
+        m2td = study.run_m2td(RANKS, variant="select", seed=1)
+        random = study.run_conventional(
+            RandomSampler(1), study.matched_budget(), RANKS
+        )
+        assert m2td.join_nnz > random.cells
+
+
+class TestEndToEndDistributed:
+    def test_study_to_cluster_report(self, pendulum_study):
+        study = pendulum_study
+        partition = study.default_partition()
+        budget = budget_for_fractions(partition, 1.0, 1.0)
+        x1, x2, _cells, _runs = study.sample_sub_ensembles(
+            partition, budget, seed=0
+        )
+        outcome = distributed_m2td(x1, x2, partition, RANKS)
+        accuracy_single = study.run_m2td(RANKS, seed=0).accuracy
+        accuracy_distributed = outcome.result.accuracy(study.truth)
+        assert accuracy_distributed == pytest.approx(accuracy_single, abs=1e-9)
+        times = outcome.phase_times(ClusterModel(n_servers=4))
+        assert set(times) == {"phase1", "phase2", "phase3"}
+
+
+class TestStorageIntegration:
+    def test_persist_and_redecompose(self, pendulum_study, tmp_path):
+        """Store a sampled ensemble, reload it, decompose — identical
+        result to the in-memory path."""
+        study = pendulum_study
+        sampler = RandomSampler(seed=3)
+        sample = sampler.sample(study.space.shape, 200)
+        values = study.truth[tuple(sample.coords.T)]
+        ensemble = SparseTensor(study.space.shape, sample.coords, values)
+        store = BlockTensorStore(tmp_path / "db")
+        store.put("pendulum_ens", ensemble)
+        reloaded = store.get("pendulum_ens")
+        assert reloaded == ensemble
+
+        from repro.tensor import hosvd
+
+        original = hosvd(ensemble, (2, 2, 2, 2, 2))
+        reread = hosvd(reloaded, (2, 2, 2, 2, 2))
+        assert np.allclose(original.reconstruct(), reread.reconstruct())
+
+
+class TestCrossSystem:
+    @pytest.mark.parametrize(
+        "study_fixture", ["pendulum_study", "triple_study", "lorenz_study"]
+    )
+    def test_m2td_beats_random_everywhere(self, study_fixture, request):
+        study = request.getfixturevalue(study_fixture)
+        ranks = [2] * 5
+        m2td = study.run_m2td(ranks, variant="select", seed=2)
+        random = study.run_conventional(
+            RandomSampler(2), study.matched_budget(), ranks
+        )
+        assert m2td.accuracy > 3 * max(random.accuracy, 1e-9)
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self, pendulum_study):
+        a = pendulum_study.run_m2td(RANKS, seed=11)
+        b = pendulum_study.run_m2td(RANKS, seed=11)
+        assert a.accuracy == pytest.approx(b.accuracy, abs=0)
+
+    def test_different_pivot_fraction_changes_budget(self, pendulum_study):
+        full = pendulum_study.run_m2td(RANKS, seed=0)
+        half = pendulum_study.run_m2td(RANKS, pivot_fraction=0.5, seed=0)
+        assert half.cells == full.cells // 2
