@@ -2,9 +2,12 @@
 
 Every bench works against session-cached studies at the benchmark
 resolution, so pytest-benchmark timings measure decomposition work,
-not ground-truth construction.  Each table bench also prints the
-reproduced rows (use ``-s`` to see them) so a benchmark run doubles as
-an experiment log.
+not ground-truth construction.  Study creation goes through the
+shared runtime's content-addressed cache, so each (system,
+resolution) truth tensor is simulated once per session — and, with
+``M2TD_CACHE_DIR`` set, once *ever*.  Each table bench also prints
+the reproduced rows (use ``-s`` to see them) so a benchmark run
+doubles as an experiment log.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import pytest
 
 from _bench_utils import BENCH_RESOLUTION
 from repro.core import EnsembleStudy
+from repro.runtime import session_runtime
 from repro.simulation import make_system
 
 
@@ -24,7 +28,9 @@ def studies():
     def get(system_name: str) -> EnsembleStudy:
         if system_name not in cache:
             cache[system_name] = EnsembleStudy.create(
-                make_system(system_name), BENCH_RESOLUTION
+                make_system(system_name),
+                BENCH_RESOLUTION,
+                runtime=session_runtime(),
             )
         return cache[system_name]
 

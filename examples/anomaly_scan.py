@@ -17,6 +17,7 @@ Run:  python examples/anomaly_scan.py
 import numpy as np
 
 from repro import EnsembleStudy, Lorenz
+from repro.runtime import session_runtime
 from repro.experiments import format_table
 
 RESOLUTION = 8
@@ -27,7 +28,9 @@ TOP_K = 5
 
 def main() -> None:
     print(f"Building the Lorenz study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(Lorenz(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        Lorenz(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     result = study.run_m2td(RANKS, variant="select", seed=SEED)
     print(f"M2TD-SELECT accuracy: {result.accuracy:.4f}\n")
 

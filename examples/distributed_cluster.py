@@ -12,6 +12,7 @@ Run:  python examples/distributed_cluster.py
 import numpy as np
 
 from repro import ClusterModel, DoublePendulum, EnsembleStudy, distributed_m2td
+from repro.runtime import session_runtime
 from repro.experiments import format_table
 from repro.sampling import budget_for_fractions
 
@@ -23,7 +24,9 @@ SERVERS = (1, 2, 4, 9, 18)
 
 def main() -> None:
     print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     partition = study.default_partition()
     budget = budget_for_fractions(partition, 1.0, 1.0)
     x1, x2, cells, runs = study.sample_sub_ensembles(

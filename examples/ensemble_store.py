@@ -13,6 +13,7 @@ import tempfile
 from pathlib import Path
 
 from repro import BlockTensorStore, DoublePendulum, EnsembleStudy
+from repro.runtime import session_runtime
 from repro.core import m2td_select
 from repro.sampling import budget_for_fractions
 
@@ -23,7 +24,9 @@ SEED = 7
 
 def main() -> None:
     print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     partition = study.default_partition()
     budget = budget_for_fractions(partition, 1.0, 1.0)
     x1, x2, cells, _runs = study.sample_sub_ensembles(

@@ -19,6 +19,7 @@ Run:  python examples/epidemic_study.py
 import numpy as np
 
 from repro import EnsembleStudy
+from repro.runtime import session_runtime
 from repro.experiments import format_table
 from repro.sampling import RandomSampler
 from repro.simulation import make_system
@@ -31,7 +32,9 @@ SEED = 7
 def main() -> None:
     system = make_system("epidemic_seir")
     print(f"Building the SEIR study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(system, resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        system, resolution=RESOLUTION, runtime=session_runtime()
+    )
     print(
         "observed outbreak parameters (hidden from the analyst): "
         + ", ".join(

@@ -13,6 +13,7 @@ Run:  python examples/lorenz_budget_study.py
 """
 
 from repro import EnsembleStudy, Lorenz
+from repro.runtime import session_runtime
 from repro.experiments import format_table
 
 RESOLUTION = 8
@@ -72,7 +73,9 @@ def zero_join_rescue(study: EnsembleStudy) -> None:
 
 def main() -> None:
     print(f"Building the Lorenz study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(Lorenz(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        Lorenz(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     print("\n-- P vs E density sweeps (paper Tables VI/VII shape) --")
     density_sweeps(study)
     print("\n-- Low budget and zero-joins (paper Table V shape) --")

@@ -16,6 +16,7 @@ Run:  python examples/pattern_analysis.py
 import numpy as np
 
 from repro import DoublePendulum, EnsembleStudy
+from repro.runtime import session_runtime
 from repro.analysis import (
     core_energy_spectrum,
     describe_patterns,
@@ -31,7 +32,9 @@ SEED = 7
 
 def main() -> None:
     print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     result = study.run_m2td(RANKS, variant="select", seed=SEED)
     print(f"M2TD-SELECT accuracy: {result.accuracy:.4f}\n")
 

@@ -16,6 +16,7 @@ Run:  python examples/pendulum_pivot_study.py
 import numpy as np
 
 from repro import DoublePendulum, EnsembleStudy
+from repro.runtime import session_runtime
 from repro.core.row_select import row_select_source
 from repro.experiments import format_table
 from repro.experiments.table8 import pendulum_partition
@@ -73,7 +74,9 @@ def row_select_diagnostics(study: EnsembleStudy) -> None:
 
 def main() -> None:
     print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     print("\n-- Pivot sweep (paper Table VIII shape) --")
     pivot_sweep(study)
     row_select_diagnostics(study)

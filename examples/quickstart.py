@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import DoublePendulum, EnsembleStudy
+from repro.runtime import session_runtime
 from repro.experiments import format_table
 from repro.sampling import GridSampler, RandomSampler, SliceSampler
 
@@ -17,7 +18,9 @@ def main() -> None:
     # One study = one ground-truth tensor: every parameter combination
     # of the system, simulated, at `resolution` values per mode.
     print("Building the double-pendulum study (resolution 8) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=8)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=8, runtime=session_runtime()
+    )
     ranks = [3] * 5  # Tucker rank per tensor mode
 
     # Partition-stitch sampling + M2TD-SELECT (the paper's method).

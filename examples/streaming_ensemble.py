@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from repro import DoublePendulum, EnsembleStudy
+from repro.runtime import session_runtime
 from repro.core.incremental import IncrementalM2TD, batch_reference
 from repro.experiments import format_table
 from repro.sampling import budget_for_fractions
@@ -40,7 +41,9 @@ def join_fit(tucker, x1, x2):
 
 def main() -> None:
     print(f"Building the double-pendulum study (resolution {RESOLUTION}) ...")
-    study = EnsembleStudy.create(DoublePendulum(), resolution=RESOLUTION)
+    study = EnsembleStudy.create(
+        DoublePendulum(), resolution=RESOLUTION, runtime=session_runtime()
+    )
     partition = study.default_partition()
     budget = budget_for_fractions(partition, 1.0, 1.0)
     x1, x2, _cells, _runs = study.sample_sub_ensembles(

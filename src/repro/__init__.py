@@ -21,6 +21,9 @@ Package map
     JE-stitching, the M2TD variants, the study pipeline.
 ``repro.distributed``
     MapReduce engine, cluster model, D-M2TD.
+``repro.runtime``
+    Task-graph execution runtime: pluggable executors,
+    content-addressed caching, retries.
 ``repro.storage``
     Block-based sparse tensor store.
 ``repro.experiments``
@@ -41,6 +44,14 @@ from .core import (
 )
 from .distributed import ClusterModel, distributed_m2td
 from .exceptions import ReproError
+from .runtime import (
+    ResultCache,
+    RetryPolicy,
+    Runtime,
+    RuntimeReport,
+    TaskGraph,
+    session_runtime,
+)
 from .sampling import (
     GridSampler,
     PartitionBudget,
@@ -91,6 +102,12 @@ __all__ = [
     "ClusterModel",
     "distributed_m2td",
     "ReproError",
+    "ResultCache",
+    "RetryPolicy",
+    "Runtime",
+    "RuntimeReport",
+    "TaskGraph",
+    "session_runtime",
     "GridSampler",
     "PartitionBudget",
     "PFPartition",

@@ -74,7 +74,11 @@ class _IncrementalSubTensor:
         u, s, vt = self.triples[0]
         rows = unfold(slab, 0)
         self.triples[0] = append_rows(
-            u, s, vt, rows, _clip(self.ranks[0], (self.data.shape[0] + slab.shape[0], rows.shape[1]))
+            u, s, vt, rows,
+            _clip(
+                self.ranks[0],
+                (self.data.shape[0] + slab.shape[0], rows.shape[1]),
+            ),
         )
         # free modes: new columns
         for mode in range(1, self.data.ndim):

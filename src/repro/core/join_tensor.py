@@ -87,8 +87,12 @@ def lazy_core(
     # Column sums of the *other* side's factors supply the missing modes.
     colsum1 = [u.sum(axis=0) for u in s1_factors]
     colsum2 = [u.sum(axis=0) for u in s2_factors]
-    term1 = np.multiply.outer(c1, outer(colsum2) if len(colsum2) > 1 else colsum2[0])
-    term2_raw = np.multiply.outer(c2, outer(colsum1) if len(colsum1) > 1 else colsum1[0])
+    term1 = np.multiply.outer(
+        c1, outer(colsum2) if len(colsum2) > 1 else colsum2[0]
+    )
+    term2_raw = np.multiply.outer(
+        c2, outer(colsum1) if len(colsum1) > 1 else colsum1[0]
+    )
     # term2's layout is (pivot..., s2..., s1...); move the s1 block in
     # front of the s2 block to match join order (pivot..., s1..., s2...).
     axes = (

@@ -24,11 +24,12 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import SamplingError
+from ..runtime import Runtime
 from ..sampling.base import Sampler
 from ..sampling.budget import PartitionBudget, budget_for_fractions
 from ..sampling.partition import PFPartition
 from ..sampling.sub_ensemble import select_sub_ensembles
-from ..simulation.ensemble import full_space_tensor
+from ..simulation.ensemble import SimulationMeter, full_space_tensor
 from ..simulation.observation import Observation, make_observation
 from ..simulation.parameter_space import ParameterSpace
 from ..simulation.systems import DynamicalSystem
@@ -93,12 +94,19 @@ class EnsembleStudy:
         time_resolution: Optional[int] = None,
         true_params: Optional[Dict[str, float]] = None,
         chunk_size: int = 4096,
+        runtime: Optional[Runtime] = None,
+        meter: Optional[SimulationMeter] = None,
     ) -> "EnsembleStudy":
         """Build the study: discretize, observe, simulate the full space.
 
         This is the expensive step (``resolution ** n_params``
         batched simulation runs) and is shared by every scheme
-        evaluated on the study.
+        evaluated on the study.  With a ``runtime``, construction runs
+        as a content-addressed graph task: a repeated study over the
+        same (system, resolution, time_resolution, true_params) reuses
+        the cached tensor — and with the runtime's ``cache_dir`` set,
+        reuse survives across processes — so the ``meter`` is charged
+        zero runs on the second build.
         """
         space = ParameterSpace(
             system, resolution, time_resolution=time_resolution
@@ -110,8 +118,52 @@ class EnsembleStudy:
             space.n_simulations_full,
             space.shape,
         )
-        truth = full_space_tensor(space, observation, chunk_size=chunk_size)
+
+        def build() -> np.ndarray:
+            # Only reached on a cache miss (or without a runtime), so
+            # the meter sees exactly the integrator work performed.
+            return full_space_tensor(
+                space, observation, chunk_size=chunk_size, meter=meter
+            )
+
+        if runtime is None:
+            truth = build()
+        else:
+            truth = runtime.call(
+                f"ground-truth:{system.name}:r{resolution}",
+                build,
+                cache_scope="ground-truth",
+                cache_key=cls._truth_cache_key(space, true_params),
+                # closure over space/observation: thread or inline only
+                affinity="thread" if runtime.workers > 1 else "inline",
+            )
         return cls(space=space, observation=observation, truth=truth)
+
+    @staticmethod
+    def _truth_cache_key(
+        space: ParameterSpace, true_params: Optional[Dict[str, float]]
+    ) -> Tuple:
+        """Content key for the ground-truth tensor.
+
+        ``chunk_size`` is deliberately excluded: chunking changes the
+        batching, not the tensor.  Parameter ranges are included so
+        two systems sharing a name but differing in grids never
+        collide.
+        """
+        system = space.system
+        param_defs = tuple(
+            (p.name, float(p.low), float(p.high), float(p.default))
+            for p in system.parameters
+        )
+        return (
+            system.name,
+            tuple(space.shape),
+            int(space.time_resolution),
+            float(system.t_end),
+            int(system.n_steps),
+            param_defs,
+            tuple(sorted((true_params or {}).items())),
+        )
 
     # ------------------------------------------------------------------
     # conventional schemes

@@ -4,7 +4,12 @@ pipeline of paper Section VI-D.
 """
 
 from .cluster import ClusterModel, lpt_makespan
-from .dm2td import PHASE_NAMES, DM2TDResult, distributed_m2td
+from .dm2td import (
+    PHASE_NAMES,
+    DM2TDResult,
+    distributed_m2td,
+    dm2td_task_graph,
+)
 from .mapreduce import (
     JobStats,
     LocalMapReduceEngine,
@@ -19,6 +24,7 @@ __all__ = [
     "PHASE_NAMES",
     "DM2TDResult",
     "distributed_m2td",
+    "dm2td_task_graph",
     "JobStats",
     "LocalMapReduceEngine",
     "MapReduceJob",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import MapReduceError
+from ..runtime import Runtime, TaskGraph, output
 from ..sampling.partition import PFPartition
 from ..tensor.sparse import SparseTensor
 from ..tensor.tucker import TuckerTensor
@@ -61,7 +62,7 @@ def _clip(rank: int, size: int) -> int:
     return max(1, min(int(rank), int(size)))
 
 
-def distributed_m2td(
+def dm2td_task_graph(
     x1: SparseTensor,
     x2: SparseTensor,
     partition: PFPartition,
@@ -69,13 +70,16 @@ def distributed_m2td(
     variant: str = "select",
     join_kind: str = "join",
     engine: Optional[LocalMapReduceEngine] = None,
-) -> DM2TDResult:
-    """Run the 3-phase D-M2TD pipeline.
+) -> TaskGraph:
+    """The 3-phase D-M2TD pipeline as a runtime task graph.
 
-    Parameters mirror :func:`repro.core.m2td.m2td_decompose`; the
-    output decomposition is numerically identical to the single-node
-    path for the same inputs (tests assert this), only the execution
-    is organised as MapReduce jobs with per-task accounting.
+    The dependency structure mirrors the data flow of Algorithm 6:
+    phase 1 (sub-tensor decomposition) and phase 2 (JE-stitching) read
+    only the raw sub-tensors and are **independent** — a multi-worker
+    runtime overlaps them — while the pivot-factor combination hangs
+    off phase 1 and phase 3 joins both branches.  Each task returns
+    ``(payload, JobStats)`` so the driver can assemble the result and
+    the cluster model replay.
     """
     if variant not in ("avg", "select"):
         raise MapReduceError(
@@ -86,65 +90,120 @@ def distributed_m2td(
     k = partition.k
     f1 = len(partition.s1_free)
     f2 = len(partition.s2_free)
-    job_stats: Dict[str, JobStats] = {}
 
-    # ------------------------------------------------------- phase 1
-    ranks1 = tuple(join_ranks[:k]) + tuple(join_ranks[k : k + f1])
-    ranks2 = tuple(join_ranks[:k]) + tuple(join_ranks[k + f1 :])
-    job1 = phase1_job({1: ranks1, 2: ranks2})
-    out1, stats1 = engine.run(job1, phase1_records(x1, x2))
-    job_stats["phase1"] = stats1
-    factors_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
-    svals_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
-    for _key, (kappa, mode, u, s) in out1:
-        factors_by_side[kappa][mode] = u
-        svals_by_side[kappa][mode] = s
+    def run_phase1():
+        ranks1 = tuple(join_ranks[:k]) + tuple(join_ranks[k : k + f1])
+        ranks2 = tuple(join_ranks[:k]) + tuple(join_ranks[k + f1 :])
+        job1 = phase1_job({1: ranks1, 2: ranks2})
+        return engine.run(job1, phase1_records(x1, x2))
 
-    # Combine pivot factors per variant (driver side; tiny matrices).
-    pivot_factors: List[np.ndarray] = []
-    for mode in range(k):
-        u1 = factors_by_side[1][mode]
-        u2 = factors_by_side[2][mode]
-        width = min(u1.shape[1], u2.shape[1])
-        u1, u2 = u1[:, :width], u2[:, :width]
-        if variant == "avg":
-            pivot_factors.append(average_factors(u1, u2))
-        else:
-            pivot_factors.append(
-                row_select(
-                    u1,
-                    u2,
-                    svals_by_side[1][mode][:width],
-                    svals_by_side[2][mode][:width],
+    def combine_pivots(phase1_out):
+        # Combine pivot factors per variant (driver side; tiny
+        # matrices).
+        out1, _stats1 = phase1_out
+        factors_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
+        svals_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
+        for _key, (kappa, mode, u, s) in out1:
+            factors_by_side[kappa][mode] = u
+            svals_by_side[kappa][mode] = s
+        pivot_factors: List[np.ndarray] = []
+        for mode in range(k):
+            u1 = factors_by_side[1][mode]
+            u2 = factors_by_side[2][mode]
+            width = min(u1.shape[1], u2.shape[1])
+            u1, u2 = u1[:, :width], u2[:, :width]
+            if variant == "avg":
+                pivot_factors.append(average_factors(u1, u2))
+            else:
+                pivot_factors.append(
+                    row_select(
+                        u1,
+                        u2,
+                        svals_by_side[1][mode][:width],
+                        svals_by_side[2][mode][:width],
+                    )
                 )
-            )
-    s1_factors = [factors_by_side[1][k + i] for i in range(f1)]
-    s2_factors = [factors_by_side[2][k + i] for i in range(f2)]
+        s1_factors = [factors_by_side[1][k + i] for i in range(f1)]
+        s2_factors = [factors_by_side[2][k + i] for i in range(f2)]
+        return pivot_factors, s1_factors, s2_factors
 
-    # ------------------------------------------------------- phase 2
-    # Zero-join candidate sets must be GLOBAL (the distinct free
-    # configurations observed anywhere in each sub-ensemble); each
-    # per-pivot reducer only sees its own group, so the driver
-    # broadcasts them into the job.
-    candidates1 = candidates2 = None
-    if join_kind == "zero":
-        candidates1 = np.unique(_split_flat(x1, partition, 1)[1])
-        candidates2 = np.unique(_split_flat(x2, partition, 2)[1])
-    job2 = phase2_job(
-        partition,
-        join_kind=join_kind,
-        candidates1=candidates1,
-        candidates2=candidates2,
+    def run_phase2():
+        # Zero-join candidate sets must be GLOBAL (the distinct free
+        # configurations observed anywhere in each sub-ensemble); each
+        # per-pivot reducer only sees its own group, so the driver
+        # broadcasts them into the job.
+        candidates1 = candidates2 = None
+        if join_kind == "zero":
+            candidates1 = np.unique(_split_flat(x1, partition, 1)[1])
+            candidates2 = np.unique(_split_flat(x2, partition, 2)[1])
+        job2 = phase2_job(
+            partition,
+            join_kind=join_kind,
+            candidates1=candidates1,
+            candidates2=candidates2,
+        )
+        return engine.run(job2, phase2_records(x1, x2, partition))
+
+    def run_phase3(combined, phase2_out):
+        pivot_factors, s1_factors, s2_factors = combined
+        blocks, _stats2 = phase2_out
+        job3 = phase3_job(partition, pivot_factors, s1_factors, s2_factors)
+        return engine.run(job3, blocks)
+
+    graph = TaskGraph()
+    graph.add("phase1", run_phase1, affinity="thread")
+    graph.add("combine-pivots", combine_pivots, output("phase1"))
+    graph.add("phase2", run_phase2, affinity="thread")
+    graph.add(
+        "phase3", run_phase3, output("combine-pivots"), output("phase2"),
+        affinity="thread",
     )
-    blocks, stats2 = engine.run(job2, phase2_records(x1, x2, partition))
-    job_stats["phase2"] = stats2
-    join_nnz = int(sum(v.shape[0] for _pivot, (_a, _b, v) in blocks))
+    return graph
 
-    # ------------------------------------------------------- phase 3
-    job3 = phase3_job(partition, pivot_factors, s1_factors, s2_factors)
-    partials, stats3 = engine.run(job3, blocks)
-    job_stats["phase3"] = stats3
-    core_shape = tuple(f.shape[1] for f in pivot_factors + s1_factors + s2_factors)
+
+def distributed_m2td(
+    x1: SparseTensor,
+    x2: SparseTensor,
+    partition: PFPartition,
+    ranks: Sequence[int],
+    variant: str = "select",
+    join_kind: str = "join",
+    engine: Optional[LocalMapReduceEngine] = None,
+    runtime: Optional[Runtime] = None,
+) -> DM2TDResult:
+    """Run the 3-phase D-M2TD pipeline.
+
+    Parameters mirror :func:`repro.core.m2td.m2td_decompose`; the
+    output decomposition is numerically identical to the single-node
+    path for the same inputs (tests assert this), only the execution
+    is organised as MapReduce jobs scheduled through a
+    :class:`~repro.runtime.TaskGraph` with per-task accounting.  A
+    multi-worker ``runtime`` overlaps the independent phases 1 and 2;
+    without one the graph runs inline in topological order.
+    """
+    graph = dm2td_task_graph(
+        x1, x2, partition, ranks,
+        variant=variant, join_kind=join_kind, engine=engine,
+    )
+    if runtime is None:
+        runtime = Runtime(workers=1)
+        outcome = runtime.run(graph)
+        runtime.shutdown()
+    else:
+        outcome = runtime.run(graph)
+    _out1, stats1 = outcome["phase1"]
+    blocks, stats2 = outcome["phase2"]
+    partials, stats3 = outcome["phase3"]
+    pivot_factors, s1_factors, s2_factors = outcome["combine-pivots"]
+    job_stats: Dict[str, JobStats] = {
+        "phase1": stats1,
+        "phase2": stats2,
+        "phase3": stats3,
+    }
+    join_nnz = int(sum(v.shape[0] for _pivot, (_a, _b, v) in blocks))
+    core_shape = tuple(
+        f.shape[1] for f in pivot_factors + s1_factors + s2_factors
+    )
     core = np.zeros(core_shape)
     for _key, partial in partials:
         core += partial

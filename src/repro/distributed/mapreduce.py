@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import MapReduceError
+from ..runtime.executors import Executor, InlineExecutor, ThreadExecutor
 
 #: A key-value record flowing through the pipeline.
 Record = Tuple[Hashable, Any]
@@ -39,6 +40,10 @@ def payload_bytes(value: Any) -> int:
     network cost.
     """
     if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, np.generic):
+        # numpy scalars (np.float64, np.int32, ...) know their width;
+        # without this branch they fell through to the flat 8-byte cost.
         return int(value.nbytes)
     if isinstance(value, (tuple, list)):
         return sum(payload_bytes(v) for v in value) + 8
@@ -95,8 +100,8 @@ class MapReduceJob:
     """
 
     name: str
-    map_fn: MapFn = None
-    reduce_fn: ReduceFn = None
+    map_fn: Optional[MapFn] = None
+    reduce_fn: Optional[ReduceFn] = None
     map_tasks: int = 4
 
 
@@ -110,21 +115,40 @@ class LocalMapReduceEngine:
     By default the engine is sequential — determinism matters more for
     a reproduction harness than real parallel speed, and the cluster
     model, not the host machine, decides the reported wall-clock.
-    Passing ``n_workers > 1`` executes the reduce tasks on a thread
-    pool: the heavy reducers here are numpy/LAPACK-bound (SVDs, dense
-    projections), which release the GIL, so threads yield real
-    speedups without pickling the closures a process pool would
-    require.  Output ordering and statistics are identical either way
-    (tests assert it).
+    Passing ``n_workers > 1`` executes both the map and the reduce
+    stages on the runtime's shared executor interface
+    (:mod:`repro.runtime.executors`), a thread pool by default: the
+    heavy tasks here are numpy/LAPACK-bound (SVDs, dense projections),
+    which release the GIL, so threads yield real speedups without
+    pickling the closures a process pool would require.  An explicit
+    ``executor`` overrides that choice — any venue satisfying the
+    :class:`~repro.runtime.executors.Executor` contract works.  Map
+    results are concatenated in task order and reduce tasks complete
+    in sorted key order, so output records and statistics ordering are
+    byte-identical to the sequential engine (tests assert it).
     """
 
-    def __init__(self, n_workers: int = 1):
+    def __init__(
+        self, n_workers: int = 1, executor: Optional[Executor] = None
+    ):
         n_workers = int(n_workers)
         if n_workers < 1:
             raise MapReduceError(
                 f"n_workers must be >= 1, got {n_workers}"
             )
         self.n_workers = n_workers
+        self._owns_executor = executor is None
+        if executor is None:
+            executor = (
+                InlineExecutor() if n_workers == 1
+                else ThreadExecutor(n_workers)
+            )
+        self.executor = executor
+
+    def close(self) -> None:
+        """Release the worker pool (only if the engine created it)."""
+        if self._owns_executor:
+            self.executor.shutdown()
 
     def run(
         self, job: MapReduceJob, records: Iterable[Record]
@@ -137,9 +161,12 @@ class LocalMapReduceEngine:
         # ----------------------------------------------------- map
         n_map_tasks = max(1, min(int(job.map_tasks), max(len(records), 1)))
         chunks = np.array_split(np.arange(len(records)), n_map_tasks)
-        intermediate: List[Record] = []
-        for task_index, chunk in enumerate(chunks):
+
+        def run_map_task(
+            task_index: int, chunk: np.ndarray
+        ) -> Tuple[TaskStats, List[Record]]:
             task = TaskStats(task_id=f"map-{task_index}")
+            emitted_records: List[Record] = []
             started = time.perf_counter()
             for record_index in chunk:
                 key, value = records[record_index]
@@ -155,9 +182,18 @@ class LocalMapReduceEngine:
                 for out_key, out_value in emitted:
                     task.records_out += 1
                     task.bytes_out += payload_bytes(out_value)
-                    intermediate.append((out_key, out_value))
+                    emitted_records.append((out_key, out_value))
             task.compute_seconds = time.perf_counter() - started
+            return task, emitted_records
+
+        map_results = self._dispatch(
+            [(index, chunk) for index, chunk in enumerate(chunks)],
+            run_map_task,
+        )
+        intermediate: List[Record] = []
+        for task, emitted_records in map_results:
             stats.map_tasks.append(task)
+            intermediate.extend(emitted_records)
 
         # ----------------------------------------------------- shuffle
         groups: Dict[Hashable, List[Any]] = {}
@@ -195,14 +231,20 @@ class LocalMapReduceEngine:
             return task, emitted
 
         ordered_keys = sorted(groups, key=repr)
-        if self.n_workers == 1 or len(ordered_keys) <= 1:
-            results = [run_reduce_task(key) for key in ordered_keys]
-        else:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                results = list(pool.map(run_reduce_task, ordered_keys))
+        results = self._dispatch(
+            [(key,) for key in ordered_keys], run_reduce_task
+        )
         for task, emitted in results:
             stats.reduce_tasks.append(task)
             output.extend(emitted)
         return output, stats
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, arg_tuples, fn):
+        """Run ``fn(*args)`` for each tuple on the executor, returning
+        results in submission order (concurrent execution, sequential
+        collection — hence deterministic output/statistics ordering)."""
+        if len(arg_tuples) <= 1 or isinstance(self.executor, InlineExecutor):
+            return [fn(*args) for args in arg_tuples]
+        futures = [self.executor.submit(fn, *args) for args in arg_tuples]
+        return [future.result() for future in futures]

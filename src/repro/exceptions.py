@@ -54,5 +54,54 @@ class MapReduceError(ReproError, RuntimeError):
     """A MapReduce job failed (bad job spec, task raised, etc.)."""
 
 
+class TaskGraphError(ReproError, ValueError):
+    """A task graph is malformed (duplicate task, unknown dependency,
+    or a dependency cycle)."""
+
+
+class RuntimeExecutionError(ReproError, RuntimeError):
+    """Base class for failures inside the task-graph execution runtime.
+
+    Carries the name of the task that failed so orchestration layers
+    can report *which* node of the graph went down.
+    """
+
+    def __init__(self, task_name: str, message: str):
+        super().__init__(f"task {task_name!r}: {message}")
+        self.task_name = task_name
+        self._message = message
+
+    def __reduce__(self):
+        # Exceptions with non-(args,) __init__ signatures need explicit
+        # reduce support to survive the ProcessPoolExecutor round-trip.
+        return (self.__class__, (self.task_name, self._message))
+
+
+class TaskFailedError(RuntimeExecutionError):
+    """A task raised; the original exception is chained as ``__cause__``."""
+
+
+class TaskTimeoutError(RuntimeExecutionError):
+    """A task exceeded its per-attempt timeout."""
+
+
+class RetryExhaustedError(RuntimeExecutionError):
+    """A task kept failing after every attempt its retry policy allows."""
+
+    def __init__(self, task_name: str, attempts: int, message: str):
+        RuntimeExecutionError.__init__(
+            self, task_name, f"failed after {attempts} attempt(s): {message}"
+        )
+        self.attempts = attempts
+        self._inner = message
+
+    def __reduce__(self):
+        return (self.__class__, (self.task_name, self.attempts, self._inner))
+
+
+class CacheError(ReproError, RuntimeError):
+    """The result cache could not fingerprint or persist a value."""
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment runner was given an invalid configuration."""

@@ -21,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..runtime import Runtime
 from .config import default_config, quick_config
 from .runner import available_experiments, run_all, run_experiment
 
@@ -49,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output", help="also write the rendered reports to this file"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="runtime executor pool width for study construction",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="on-disk content-addressed cache; repeated invocations "
+        "reuse ground-truth tensors instead of re-simulating",
+    )
     return parser
 
 
@@ -66,18 +78,22 @@ def main(argv=None) -> int:
     else:
         build_parser().print_help()
         return 2
+    runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     sections = []
-    if args.all:
-        reports = run_all(config)
-        for experiment_id in targets:
-            sections.append(reports[experiment_id].render())
-    else:
-        for experiment_id in targets:
-            started = time.perf_counter()
-            report = run_experiment(experiment_id, config)
-            elapsed = time.perf_counter() - started
-            rendered = report.render()
-            sections.append(f"{rendered}\n[ran in {elapsed:.1f}s]")
+    try:
+        if args.all:
+            reports = run_all(config, runtime=runtime)
+            for experiment_id in targets:
+                sections.append(reports[experiment_id].render())
+        else:
+            for experiment_id in targets:
+                started = time.perf_counter()
+                report = run_experiment(experiment_id, config, runtime=runtime)
+                elapsed = time.perf_counter() - started
+                rendered = report.render()
+                sections.append(f"{rendered}\n[ran in {elapsed:.1f}s]")
+    finally:
+        runtime.shutdown()
     text = "\n\n".join(sections)
     print(text)
     if args.output:

@@ -10,10 +10,11 @@ DESIGN.md's substitution table).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.pipeline import EnsembleStudy
 from ..exceptions import ExperimentError
+from ..runtime import Runtime
 from ..simulation import make_system
 
 
@@ -89,15 +90,21 @@ def quick_config() -> ExperimentConfig:
 @dataclass
 class StudyCache:
     """Memoize the expensive ground-truth construction per
-    (system, resolution) — every scheme in a table shares it."""
+    (system, resolution) — every scheme in a table shares it.
 
+    With a :class:`~repro.runtime.Runtime` attached, study creation
+    additionally goes through the runtime's content-addressed cache,
+    so the memoization extends across experiment invocations (and,
+    with a cache directory, across processes)."""
+
+    runtime: Optional[Runtime] = None
     _studies: Dict[Tuple[str, int], EnsembleStudy] = field(default_factory=dict)
 
     def study(self, system_name: str, resolution: int) -> EnsembleStudy:
         key = (system_name, int(resolution))
         if key not in self._studies:
             self._studies[key] = EnsembleStudy.create(
-                make_system(system_name), resolution
+                make_system(system_name), resolution, runtime=self.runtime
             )
         return self._studies[key]
 

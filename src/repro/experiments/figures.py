@@ -161,7 +161,11 @@ def run_cost_amortisation(
         title="Simulation cost amortisation (paper Section VII-E1)",
         headers=["Scheme", "runs", "integrator seconds"],
     )
-    report.add_row("partition-stitch (2E runs)", partitioned_runs, float(partitioned_seconds))
+    report.add_row(
+        "partition-stitch (2E runs)",
+        partitioned_runs,
+        float(partitioned_seconds),
+    )
     report.add_row(
         "full space (R^n runs, extrapolated)", full_runs, float(full_seconds)
     )

@@ -8,6 +8,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ExperimentError
+from ..runtime import Runtime
 from . import (
     ext_adaptive,
     ext_baselines,
@@ -65,8 +66,15 @@ def run_experiment(
     experiment_id: str,
     config: Optional[ExperimentConfig] = None,
     cache: Optional[StudyCache] = None,
+    runtime: Optional[Runtime] = None,
 ) -> ExperimentReport:
-    """Run one experiment by id (``table2`` ... ``fig-cost``)."""
+    """Run one experiment by id (``table2`` ... ``fig-cost``).
+
+    A ``runtime`` (when no explicit ``cache`` is given) routes
+    ground-truth construction through the content-addressed result
+    cache, so repeated invocations with the same on-disk cache
+    directory skip the simulations.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -75,7 +83,9 @@ def run_experiment(
             f"available: {available_experiments()}"
         ) from None
     started = time.perf_counter()
-    report = runner(config or default_config(), cache or StudyCache())
+    report = runner(
+        config or default_config(), cache or StudyCache(runtime=runtime)
+    )
     logger.info(
         "experiment %s finished in %.1fs (%d rows)",
         experiment_id,
@@ -87,10 +97,11 @@ def run_experiment(
 
 def run_all(
     config: Optional[ExperimentConfig] = None,
+    runtime: Optional[Runtime] = None,
 ) -> Dict[str, ExperimentReport]:
     """Run every experiment, sharing one study cache."""
     config = config or default_config()
-    cache = StudyCache()
+    cache = StudyCache(runtime=runtime)
     return {
         experiment_id: runner(config, cache)
         for experiment_id, runner in EXPERIMENTS.items()

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..core.pipeline import EnsembleStudy, StudyResult
 from ..exceptions import ExperimentError
+from ..runtime import Runtime, TaskGraph, output
 from ..simulation import make_system
 from .reporting import format_table
 from .schemes import conventional_sampler
@@ -92,20 +93,75 @@ def run_scheme(
     )
 
 
-def run_config(config: Dict) -> List[StudyResult]:
-    """Execute a loaded config; returns one result per scheme."""
+def scheme_graph(
+    study: EnsembleStudy, config: Dict, ranks: List[int], seed: int
+) -> TaskGraph:
+    """One task per declared scheme, on one shared ground truth.
+
+    Schemes are independent of each other — a multi-worker runtime
+    runs them concurrently — with one exception mirroring the
+    sequential semantics: a conventional scheme without an explicit
+    ``"budget"`` consumes the cell budget of the *first* m2td scheme,
+    so its task depends on that scheme's result.
+    """
+    graph = TaskGraph()
+    first_m2td: Optional[str] = None
+    for index, scheme in enumerate(config["schemes"]):
+        name = f"scheme-{index}:{scheme.get('kind', '?')}"
+        needs_budget = (
+            scheme.get("kind") == "conventional"
+            and scheme.get("budget") is None
+        )
+        if needs_budget and first_m2td is None:
+            raise ExperimentError(
+                "conventional scheme needs a 'budget' (or declare an "
+                "m2td scheme first to match its budget)"
+            )
+
+        def run(m2td_result=None, scheme=scheme):
+            budget = (
+                m2td_result.cells if m2td_result is not None else None
+            )
+            return run_scheme(study, scheme, ranks, seed, budget)
+
+        if needs_budget:
+            graph.add(name, run, m2td_result=output(first_m2td),
+                      affinity="thread")
+        else:
+            graph.add(name, run, affinity="thread")
+        if first_m2td is None and scheme.get("kind") == "m2td":
+            first_m2td = name
+    return graph
+
+
+def run_config(
+    config: Dict, runtime: Optional[Runtime] = None
+) -> List[StudyResult]:
+    """Execute a loaded config; returns one result per scheme.
+
+    With a ``runtime``, ground-truth construction goes through the
+    content-addressed cache (repeat invocations with a ``--cache-dir``
+    skip the simulations entirely) and the schemes execute as a task
+    graph on the runtime's workers.
+    """
     system = make_system(str(config["system"]))
-    study = EnsembleStudy.create(system, int(config["resolution"]))
+    study = EnsembleStudy.create(
+        system, int(config["resolution"]), runtime=runtime
+    )
     ranks = [int(config["rank"])] * study.space.n_modes
     seed = int(config.get("seed", 7))
-    results: List[StudyResult] = []
-    default_budget: Optional[int] = None
-    for scheme in config["schemes"]:
-        result = run_scheme(study, scheme, ranks, seed, default_budget)
-        if default_budget is None and scheme.get("kind") == "m2td":
-            default_budget = result.cells
-        results.append(result)
-    return results
+    if runtime is None:
+        results: List[StudyResult] = []
+        default_budget: Optional[int] = None
+        for scheme in config["schemes"]:
+            result = run_scheme(study, scheme, ranks, seed, default_budget)
+            if default_budget is None and scheme.get("kind") == "m2td":
+                default_budget = result.cells
+            results.append(result)
+        return results
+    graph = scheme_graph(study, config, ranks, seed)
+    outcome = runtime.run(graph)
+    return [outcome.results[name] for name in graph.names]
 
 
 def render_results(results: List[StudyResult]) -> str:
@@ -133,9 +189,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", help="write machine-readable results (JSON) here"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="executor pool width; schemes run concurrently when > 1",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache directory; repeated "
+        "studies over the same (system, resolution) reuse the "
+        "ground-truth tensor instead of re-simulating",
+    )
     args = parser.parse_args(argv)
     config = load_config(args.config)
-    results = run_config(config)
+    runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
+    try:
+        results = run_config(config, runtime=runtime)
+    finally:
+        runtime.shutdown()
     print(render_results(results))
     if args.output:
         payload = [r.row() for r in results]

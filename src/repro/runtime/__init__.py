@@ -1,0 +1,67 @@
+"""repro.runtime — the task-graph execution runtime.
+
+The execution substrate the higher layers schedule onto: ensemble
+studies express ground-truth construction and per-scheme decomposition
+as cached graph tasks, the MapReduce engine runs its map/reduce stages
+on the shared executor interface, and D-M2TD's three phases form a
+small DAG (phase 1 and phase 2 are independent; phase 3 joins them).
+
+Pieces
+------
+:class:`TaskGraph` / :func:`output`
+    Declare named tasks with explicit dependencies and argument
+    placeholders.
+:class:`InlineExecutor` / :class:`ThreadExecutor` / :class:`ProcessExecutor`
+    Pluggable venues behind one ``submit`` interface, chosen per task
+    affinity.
+:class:`ResultCache` / :func:`fingerprint`
+    Content-addressed LRU cache with optional on-disk ``.npz`` tier.
+:class:`RetryPolicy`
+    Bounded backoff and per-task timeouts for transient failures.
+:class:`Runtime` / :func:`session_runtime`
+    The facade everything else threads through (``--workers``,
+    ``--cache-dir``).
+"""
+
+from .cache import CacheStats, ResultCache, fingerprint
+from .executors import (
+    Executor,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from .graph import Task, TaskGraph, TaskOutput, output
+from .report import RuntimeReport, TaskMetrics
+from .retry import NO_RETRY, RetryPolicy
+from .scheduler import (
+    RunOutcome,
+    Runtime,
+    TaskGraphRunner,
+    reset_session_runtime,
+    session_runtime,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "fingerprint",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "Task",
+    "TaskGraph",
+    "TaskOutput",
+    "output",
+    "RuntimeReport",
+    "TaskMetrics",
+    "NO_RETRY",
+    "RetryPolicy",
+    "RunOutcome",
+    "Runtime",
+    "TaskGraphRunner",
+    "reset_session_runtime",
+    "session_runtime",
+]

@@ -1,0 +1,337 @@
+"""Content-addressed result cache: in-memory LRU + optional ``.npz`` disk.
+
+Keys are *fingerprints*: a SHA-256 digest over a stable byte encoding
+of ``(namespace, payload)`` where the payload describes the task's
+inputs (numpy arrays hash their dtype/shape/bytes, containers recurse,
+scalars encode by type + value).  Two tasks with the same namespace
+and equal inputs therefore share one entry — across graphs, runs and,
+with a cache directory, across processes.
+
+The disk tier reuses the ``.npz`` idiom of :mod:`repro.storage`: one
+compressed file per entry, arrays stored without pickling, structure
+(tuples/dicts/scalars around the arrays) recorded in a JSON manifest
+inside the archive.  Values the codec cannot express (arbitrary
+objects) simply stay memory-only — the cache never falls back to
+pickle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import CacheError
+
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def _feed(h: "hashlib._Hash", value: Any) -> None:
+    """Stream a stable encoding of ``value`` into the hash."""
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B" + (b"1" if value else b"0"))
+    elif isinstance(value, (int, np.integer)):
+        h.update(b"I" + str(int(value)).encode())
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"F" + np.float64(value).tobytes())
+    elif isinstance(value, (complex, np.complexfloating)):
+        h.update(b"C" + np.complex128(value).tobytes())
+    elif isinstance(value, str):
+        encoded = value.encode()
+        h.update(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        h.update(b"Y" + str(len(value)).encode() + b":" + bytes(value))
+    elif isinstance(value, np.ndarray):
+        h.update(b"A" + str(value.dtype).encode() + str(value.shape).encode())
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (tuple, list)):
+        h.update(b"L" + str(len(value)).encode())
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D" + str(len(value)).encode())
+        for key in sorted(value, key=repr):
+            _feed(h, key)
+            _feed(h, value[key])
+    elif isinstance(value, frozenset):
+        h.update(b"Z" + str(len(value)).encode())
+        for item in sorted(value, key=repr):
+            _feed(h, item)
+    else:
+        raise CacheError(
+            f"cannot fingerprint value of type {type(value).__name__}; "
+            "cache keys must be built from scalars, strings, arrays and "
+            "containers thereof"
+        )
+
+
+def fingerprint(namespace: str, payload: Any = None) -> str:
+    """Stable content hash of ``(namespace, payload)`` (hex, 32 chars)."""
+    h = hashlib.sha256()
+    _feed(h, namespace)
+    _feed(h, payload)
+    return h.hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# npz codec: values <-> flat array dict + JSON manifest
+# ----------------------------------------------------------------------
+_SCALAR_TAGS = {
+    "int": int,
+    "float": float,
+    "bool": bool,
+    "complex": complex,
+    "str": str,
+}
+
+
+def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Optional[Dict]:
+    """Build the manifest node for ``value``; None if not expressible."""
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, np.ndarray):
+        slot = f"a{len(arrays)}"
+        arrays[slot] = value
+        return {"t": "array", "slot": slot}
+    if isinstance(value, np.generic):
+        slot = f"a{len(arrays)}"
+        arrays[slot] = np.asarray(value)
+        return {"t": "array0", "slot": slot}
+    for tag, kind in _SCALAR_TAGS.items():
+        if type(value) is kind:
+            if tag == "complex":
+                return {"t": tag, "v": [value.real, value.imag]}
+            return {"t": tag, "v": value}
+    if isinstance(value, (tuple, list)):
+        items = []
+        for item in value:
+            node = _encode(item, arrays)
+            if node is None:
+                return None
+            items.append(node)
+        return {"t": "tuple" if isinstance(value, tuple) else "list",
+                "items": items}
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            return None
+        items = {}
+        for key, item in value.items():
+            node = _encode(item, arrays)
+            if node is None:
+                return None
+            items[key] = node
+        return {"t": "dict", "items": items}
+    return None
+
+
+def _decode(node: Dict, arrays: Dict[str, np.ndarray]) -> Any:
+    kind = node["t"]
+    if kind == "none":
+        return None
+    if kind == "array":
+        return arrays[node["slot"]]
+    if kind == "array0":
+        return arrays[node["slot"]][()]
+    if kind in _SCALAR_TAGS:
+        if kind == "complex":
+            real, imag = node["v"]
+            return complex(real, imag)
+        return _SCALAR_TAGS[kind](node["v"])
+    if kind in ("tuple", "list"):
+        items = [_decode(item, arrays) for item in node["items"]]
+        return tuple(items) if kind == "tuple" else items
+    if kind == "dict":
+        return {key: _decode(item, arrays) for key, item in node["items"].items()}
+    raise CacheError(f"corrupt cache manifest node {node!r}")
+
+
+def _value_nbytes(value: Any) -> int:
+    """Approximate in-memory footprint, mirroring the npz payload."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, np.generic):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_value_nbytes(v) for v in value) + 8
+    if isinstance(value, dict):
+        return sum(_value_nbytes(v) for v in value.values()) + 8
+    if isinstance(value, (str, bytes, bytearray)):
+        return len(value)
+    return 8
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Running totals for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    bytes_cached: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "bytes_cached": self.bytes_cached,
+        }
+
+
+@dataclass
+class ResultCache:
+    """LRU memory tier plus optional content-addressed ``.npz`` disk tier.
+
+    Parameters
+    ----------
+    max_entries:
+        Memory-tier capacity; least-recently-used entries evict first
+        (their disk copies, when present, survive eviction).
+    directory:
+        Disk-tier root (created on first write); ``None`` keeps the
+        cache memory-only.
+    """
+
+    max_entries: int = 128
+    directory: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise CacheError(
+                f"max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.directory is not None:
+            self.directory = Path(self.directory).expanduser()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.npz"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look ``key`` up; returns ``(hit, value)``."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return True, value
+        value = self._disk_get(key)
+        with self._lock:
+            if value is not _MISSING:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._store(key, value)
+                return True, value
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> int:
+        """Store ``value``; returns the bytes charged to the entry."""
+        nbytes = _value_nbytes(value)
+        with self._lock:
+            self._store(key, value)
+            self.stats.bytes_cached += nbytes
+        self._disk_put(key, value)
+        return nbytes
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.directory is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def _store(self, key: str, value: Any) -> None:
+        # caller holds the lock
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_get(self, key: str) -> Any:
+        if self.directory is None:
+            return _MISSING
+        path = self._path(key)
+        if not path.exists():
+            return _MISSING
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                manifest = json.loads(str(data["__manifest__"][()]))
+                arrays = {
+                    name: data[name] for name in data.files
+                    if name != "__manifest__"
+                }
+            return _decode(manifest, arrays)
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise CacheError(
+                f"cannot read cache entry {path}: {exc}"
+            ) from exc
+
+    def _disk_put(self, key: str, value: Any) -> bool:
+        if self.directory is None:
+            return False
+        arrays: Dict[str, np.ndarray] = {}
+        manifest = _encode(value, arrays)
+        if manifest is None:
+            return False  # not expressible without pickle; memory-only
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(
+                f"cache directory {str(self.directory)!r} is not "
+                f"usable: {exc}"
+            ) from exc
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            np.savez_compressed(
+                tmp,
+                __manifest__=np.asarray(json.dumps(manifest)),
+                **arrays,
+            )
+            tmp.replace(path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        with self._lock:
+            self.stats.disk_writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def disk_keys(self) -> List[str]:
+        """Fingerprints currently persisted on disk."""
+        if self.directory is None or not self.directory.exists():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.npz"))

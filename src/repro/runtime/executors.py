@@ -1,0 +1,132 @@
+"""Pluggable executors: one submit interface, three execution venues.
+
+Every executor exposes ``submit(fn, *args, **kwargs) ->
+concurrent.futures.Future``; the scheduler (and any other component
+that wants parallelism, e.g. the MapReduce engine's map stage) only
+talks to that interface, so swapping venues never changes semantics —
+only where the work runs:
+
+* :class:`InlineExecutor` — the calling thread.  Zero overhead, fully
+  deterministic scheduling; the default for tiny graphs.
+* :class:`ThreadExecutor` — a shared thread pool.  The right venue for
+  GIL-releasing numpy/LAPACK work (SVDs, dense projections, batched
+  RK4 steps) and for closures, which need no pickling.
+* :class:`ProcessExecutor` — a process pool for pure-python,
+  GIL-bound work.  Functions and arguments must be picklable
+  (module-level functions, plain-data args).
+
+Pools are created lazily so merely constructing a
+:class:`~repro.runtime.scheduler.Runtime` never forks workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from ..exceptions import TaskGraphError
+
+
+class Executor(ABC):
+    """The minimal executor contract the runtime schedules onto."""
+
+    #: Affinity label tasks use to request this executor.
+    kind: str = "any"
+
+    @abstractmethod
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; returns a Future."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release pooled workers (no-op for the inline executor)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+class InlineExecutor(Executor):
+    """Run submitted work immediately on the calling thread."""
+
+    kind = "inline"
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — future carries it
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        return future
+
+
+class _PooledExecutor(Executor):
+    """Shared lazy-pool behaviour for thread/process executors."""
+
+    def __init__(self, max_workers: int):
+        max_workers = int(max_workers)
+        if max_workers < 1:
+            raise TaskGraphError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool: Optional[Any] = None
+        self._lock = threading.Lock()
+
+    def _make_pool(self) -> Any:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> Any:
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool venue for GIL-releasing numeric work."""
+
+    kind = "thread"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-runtime",
+        )
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool venue for GIL-bound work (picklable tasks only)."""
+
+    kind = "process"
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def make_executor(kind: str, max_workers: int = 1) -> Executor:
+    """Factory used by CLI flags: ``kind`` in inline/thread/process."""
+    if kind == "inline":
+        return InlineExecutor()
+    if kind == "thread":
+        return ThreadExecutor(max_workers)
+    if kind == "process":
+        return ProcessExecutor(max_workers)
+    raise TaskGraphError(
+        f"unknown executor kind {kind!r}; use 'inline', 'thread' or 'process'"
+    )

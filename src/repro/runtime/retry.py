@@ -1,0 +1,99 @@
+"""Retry policies: bounded exponential backoff plus per-task timeouts.
+
+Transient failures (a flaky subprocess, an I/O hiccup in the on-disk
+cache, a numerically unlucky Lanczos start) should not kill a
+multi-hour study graph.  A :class:`RetryPolicy` says how many times a
+task may be attempted, how long to sleep between attempts, and how
+long a single attempt may run before it is declared timed out.
+
+Exhaustion is surfaced as
+:class:`repro.exceptions.RetryExhaustedError`, which names the failing
+task — the scheduler attaches the task name, this module only decides
+*whether* another attempt is allowed and how long to wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Type
+
+from ..exceptions import TaskGraphError
+
+#: Exception classes that never trigger a retry: programming errors
+#: retry cannot fix.
+NON_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    KeyboardInterrupt,
+    SystemExit,
+    MemoryError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a task responds to failure.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts (1 = no retries).
+    backoff_seconds:
+        Sleep before the second attempt; doubles by ``backoff_factor``
+        each further attempt.
+    backoff_factor:
+        Multiplier applied per attempt.
+    max_backoff_seconds:
+        Upper bound on any single sleep.
+    timeout_seconds:
+        Per-attempt wall-clock budget (``None`` = unbounded).  Enforced
+        pre-emptively for thread/process executors via future timeouts;
+        the inline executor can only detect the overrun after the call
+        returns.
+    retry_on:
+        Exception classes that count as transient.  Anything else
+        (and everything in :data:`NON_RETRYABLE`) fails immediately.
+    """
+
+    max_attempts: int = 1
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 2.0
+    timeout_seconds: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise TaskGraphError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise TaskGraphError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise TaskGraphError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise TaskGraphError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before attempt ``attempt`` (1-based; attempt 1 never
+        sleeps)."""
+        if attempt <= 1:
+            return 0.0
+        raw = self.backoff_seconds * self.backoff_factor ** (attempt - 2)
+        return float(min(raw, self.max_backoff_seconds))
+
+    def should_retry(self, attempt: int, error: BaseException) -> bool:
+        """May the scheduler try again after ``attempt`` failed?"""
+        if attempt >= self.max_attempts:
+            return False
+        if isinstance(error, NON_RETRYABLE):
+            return False
+        return isinstance(error, self.retry_on)
+
+
+#: The scheduler's default: one attempt, no timeout — retries are
+#: opt-in because most tasks here are deterministic numerics where a
+#: failure means a bug, not bad luck.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -103,7 +103,9 @@ class PFPartition:
 
     def frozen_modes(self, which: int) -> Tuple[int, ...]:
         """Modes fixed (not varied) in sub-system ``which``."""
-        return self.s2_free if which == 1 else self.s1_free if which == 2 else self._bad(which)
+        if which == 1:
+            return self.s2_free
+        return self.s1_free if which == 2 else self._bad(which)
 
     @staticmethod
     def _bad(which):  # pragma: no cover - defensive
@@ -182,7 +184,8 @@ class PFPartition:
         for mode in self.frozen_modes(which):
             index[mode] = self.fixed_indices[mode]
         sliced = full[tuple(index)]
-        remaining = [m for m in range(self.n_modes) if m not in self.frozen_modes(which)]
+        frozen = self.frozen_modes(which)
+        remaining = [m for m in range(self.n_modes) if m not in frozen]
         order = [remaining.index(m) for m in self.sub_modes(which)]
         return np.transpose(sliced, order)
 

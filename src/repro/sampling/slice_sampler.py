@@ -59,7 +59,9 @@ class SliceSampler(Sampler):
         fixed_modes = tuple(m for m in range(len(shape)) if m not in free_modes)
         slice_size = int(np.prod([shape[m] for m in free_modes]))
         n_slices = max(1, budget // slice_size)
-        fixed_space = int(np.prod([shape[m] for m in fixed_modes])) if fixed_modes else 1
+        fixed_space = (
+            int(np.prod([shape[m] for m in fixed_modes])) if fixed_modes else 1
+        )
         n_slices = min(n_slices, fixed_space)
         if fixed_modes:
             flat_fixed = self._rng.choice(fixed_space, size=n_slices, replace=False)

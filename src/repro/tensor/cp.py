@@ -61,7 +61,9 @@ class CPTensor:
         )
         mode0 = self.factors[0] * self.weights[None, :]
         matrix = mode0 @ full.T
-        return matrix.reshape(self.shape, order="F") if len(self.factors) > 1 else mode0.ravel()
+        if len(self.factors) == 1:
+            return mode0.ravel()
+        return matrix.reshape(self.shape, order="F")
 
     def relative_error(self, reference: np.ndarray) -> float:
         return relative_error(self.reconstruct(), np.asarray(reference))
@@ -111,7 +113,8 @@ def cp_als(
             # Pad with deterministic unit columns when the mode is too
             # small to supply `rank` singular vectors.
             pad = np.zeros((basis.shape[0], rank - mode_rank))
-            pad[np.arange(rank - mode_rank) % basis.shape[0], np.arange(rank - mode_rank)] = 1.0
+            extra = np.arange(rank - mode_rank)
+            pad[extra % basis.shape[0], extra] = 1.0
             basis = np.hstack([basis, pad])
         factors.append(basis)
     weights = np.ones(rank)

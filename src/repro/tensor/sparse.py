@@ -93,7 +93,9 @@ class SparseTensor:
         return coords[keep], sums / counts
 
     @classmethod
-    def from_dict(cls, shape: Tuple[int, ...], cells: Dict[tuple, float]) -> "SparseTensor":
+    def from_dict(
+        cls, shape: Tuple[int, ...], cells: Dict[tuple, float]
+    ) -> "SparseTensor":
         """Build from a ``{multi_index: value}`` mapping."""
         if not cells:
             return cls(shape)
@@ -221,7 +223,11 @@ class SparseTensor:
                 f"{permutation} is not a permutation of 0..{self.ndim - 1}"
             )
         new_shape = tuple(self.shape[p] for p in permutation)
-        new_coords = self.coords[:, permutation] if self.nnz else self.coords.reshape((0, self.ndim))
+        new_coords = (
+            self.coords[:, permutation]
+            if self.nnz
+            else self.coords.reshape((0, self.ndim))
+        )
         return SparseTensor(new_shape, new_coords, self.values.copy())
 
     def scale(self, factor: float) -> "SparseTensor":

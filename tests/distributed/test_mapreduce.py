@@ -113,10 +113,39 @@ class TestThreadedEngine:
         with pytest.raises(MapReduceError):
             LocalMapReduceEngine(0)
 
+    def test_outputs_byte_identical_across_worker_counts(self):
+        import pickle
+
+        records = [(i, f"alpha beta w{i % 5}") for i in range(20)]
+        out1, s1 = LocalMapReduceEngine(1).run(word_count_job(), records)
+        out4, s4 = LocalMapReduceEngine(4).run(word_count_job(), records)
+        assert pickle.dumps(out1) == pickle.dumps(out4)
+        assert [t.task_id for t in s1.map_tasks] == [
+            t.task_id for t in s4.map_tasks
+        ]
+        assert [t.task_id for t in s1.reduce_tasks] == [
+            t.task_id for t in s4.reduce_tasks
+        ]
+
+    def test_map_tasks_actually_run_concurrently(self):
+        import threading
+
+        barrier = threading.Barrier(2, timeout=5)
+
+        def rendezvous(key, value):
+            # Only passes if two map tasks are in flight at once.
+            barrier.wait()
+            yield key, value
+
+        job = MapReduceJob(name="sync", map_fn=rendezvous, map_tasks=2)
+        output, _stats = LocalMapReduceEngine(n_workers=2).run(
+            job, [(0, "x"), (1, "y")]
+        )
+        assert sorted(output) == [(0, "x"), (1, "y")]
+
     def test_dm2td_agrees_across_worker_counts(self):
         import numpy as np
 
-        from repro.core.m2td import m2td_decompose
         from repro.distributed import distributed_m2td
         from repro.sampling import PFPartition
         from repro.tensor import SparseTensor
@@ -155,3 +184,12 @@ class TestPayloadBytes:
 
     def test_dict(self):
         assert payload_bytes({"a": np.zeros(1)}) == 1 + 8 + 8
+
+    def test_numpy_scalars_use_their_itemsize(self):
+        assert payload_bytes(np.float32(1.5)) == 4
+        assert payload_bytes(np.int64(3)) == 8
+        assert payload_bytes(np.bool_(True)) == 1
+        assert payload_bytes(np.float64(0.0)) == 8
+
+    def test_numpy_scalars_inside_containers(self):
+        assert payload_bytes([np.float32(1.0), np.float32(2.0)]) == 8 + 8

@@ -1,0 +1,134 @@
+"""ResultCache: fingerprints, LRU behaviour, on-disk round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CacheError
+from repro.runtime import ResultCache, fingerprint
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        key = ("lorenz", (5, 5, 5), 1.5, None)
+        assert fingerprint("truth", key) == fingerprint("truth", key)
+
+    def test_namespace_separates(self):
+        assert fingerprint("a", 1) != fingerprint("b", 1)
+
+    def test_payload_separates(self):
+        assert fingerprint("n", (1, 2)) != fingerprint("n", (1, 3))
+
+    def test_arrays_hash_by_content(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert fingerprint("n", a) == fingerprint("n", a.copy())
+        b = a.copy()
+        b[0, 0] = 99.0
+        assert fingerprint("n", a) != fingerprint("n", b)
+
+    def test_array_shape_matters(self):
+        a = np.arange(6.0)
+        assert fingerprint("n", a) != fingerprint("n", a.reshape(2, 3))
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint("n", {"x": 1, "y": 2}) == fingerprint(
+            "n", {"y": 2, "x": 1}
+        )
+
+    def test_type_distinctions(self):
+        assert fingerprint("n", 1) != fingerprint("n", "1")
+        assert fingerprint("n", True) != fingerprint("n", 1)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CacheError, match="fingerprint"):
+            fingerprint("n", object())
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        hit, _ = cache.get("k")
+        assert not hit
+        cache.put("k", 42)
+        hit, value = cache.get("k")
+        assert hit and value == 42
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a becomes most recent
+        cache.put("c", 3)  # evicts b, not a
+        assert "a" in cache and "b" not in cache
+
+    def test_bytes_accounting(self):
+        cache = ResultCache()
+        nbytes = cache.put("k", np.zeros(10))
+        assert nbytes == 80
+        assert cache.stats.bytes_cached == 80
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(CacheError):
+            ResultCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_array_round_trip(self, tmp_path):
+        first = ResultCache(directory=tmp_path)
+        value = np.arange(12.0).reshape(3, 4)
+        first.put("key1", value)
+        # fresh instance simulates a new process: memory tier is empty
+        second = ResultCache(directory=tmp_path)
+        hit, loaded = second.get("key1")
+        assert hit
+        np.testing.assert_array_equal(loaded, value)
+        assert second.stats.disk_hits == 1
+
+    def test_structured_value_round_trip(self, tmp_path):
+        value = {
+            "truth": np.ones((2, 2)),
+            "meta": (1, 2.5, "label", None, [True, np.float64(3.5)]),
+        }
+        ResultCache(directory=tmp_path).put("k", value)
+        hit, loaded = ResultCache(directory=tmp_path).get("k")
+        assert hit
+        np.testing.assert_array_equal(loaded["truth"], value["truth"])
+        assert loaded["meta"][:4] == (1, 2.5, "label", None)
+        assert loaded["meta"][4][0] is True
+        assert loaded["meta"][4][1] == 3.5
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(max_entries=1, directory=tmp_path)
+        cache.put("a", np.zeros(2))
+        cache.put("b", np.zeros(2))  # evicts a from memory
+        hit, _ = cache.get("a")  # served from disk
+        assert hit and cache.stats.disk_hits == 1
+
+    def test_unpersistable_value_stays_memory_only(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", object())  # no npz encoding exists
+        assert cache.disk_keys() == []
+        hit, _ = cache.get("k")  # but the memory tier still serves it
+        assert hit
+
+    def test_no_directory_means_no_disk(self, tmp_path):
+        cache = ResultCache()
+        cache.put("k", np.zeros(2))
+        assert cache.disk_keys() == []
+
+    def test_clear_drops_memory_not_disk(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", np.zeros(2))
+        cache.clear()
+        assert len(cache) == 0
+        hit, _ = cache.get("k")
+        assert hit  # disk tier survived

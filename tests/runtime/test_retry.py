@@ -1,0 +1,155 @@
+"""RetryPolicy semantics and their surfacing through the scheduler."""
+
+import time
+
+import pytest
+
+from repro.exceptions import (
+    RetryExhaustedError,
+    TaskFailedError,
+    TaskGraphError,
+    TaskTimeoutError,
+)
+from repro.runtime import RetryPolicy, Runtime
+
+
+class TestPolicy:
+    def test_delay_schedule_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff_seconds=0.1,
+            backoff_factor=2.0,
+            max_backoff_seconds=0.25,
+        )
+        assert policy.delay(1) == 0.0
+        assert policy.delay(2) == pytest.approx(0.1)
+        assert policy.delay(3) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.25)  # clamped
+
+    def test_should_retry_honours_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=2)
+        error = ValueError("x")
+        assert policy.should_retry(1, error)
+        assert not policy.should_retry(2, error)
+
+    def test_should_retry_filters_exception_types(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(OSError,))
+        assert policy.should_retry(1, OSError())
+        assert not policy.should_retry(1, ValueError())
+
+    def test_never_retries_non_retryable(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(BaseException,))
+        assert not policy.should_retry(1, MemoryError())
+
+    def test_validation(self):
+        with pytest.raises(TaskGraphError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(TaskGraphError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(TaskGraphError):
+            RetryPolicy(timeout_seconds=0)
+
+
+class TestSchedulerRetries:
+    def test_exhaustion_raises_with_task_name(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            raise ValueError("transient-ish")
+
+        runtime = Runtime()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            runtime.call(
+                "ingest-shard-7",
+                flaky,
+                retry=RetryPolicy(max_attempts=3, backoff_seconds=0.001),
+            )
+        assert excinfo.value.task_name == "ingest-shard-7"
+        assert excinfo.value.attempts == 3
+        assert "ingest-shard-7" in str(excinfo.value)
+        assert len(attempts) == 3
+
+    def test_success_after_transient_failures(self):
+        state = {"calls": 0}
+
+        def eventually():
+            state["calls"] += 1
+            if state["calls"] < 3:
+                raise OSError("flake")
+            return "done"
+
+        result = Runtime().call(
+            "eventually",
+            eventually,
+            retry=RetryPolicy(max_attempts=5, backoff_seconds=0.001),
+        )
+        assert result == "done" and state["calls"] == 3
+
+    def test_single_attempt_failure_is_task_failed(self):
+        def boom():
+            raise ValueError("broken")
+
+        with pytest.raises(TaskFailedError) as excinfo:
+            Runtime().call("boom", boom)
+        assert excinfo.value.task_name == "boom"
+
+    def test_thread_timeout_surfaces(self):
+        def slow():
+            time.sleep(0.4)
+            return 1
+
+        runtime = Runtime(workers=2)
+        try:
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                runtime.call(
+                    "slow-task",
+                    slow,
+                    affinity="thread",
+                    retry=RetryPolicy(max_attempts=1, timeout_seconds=0.05),
+                )
+            assert excinfo.value.task_name == "slow-task"
+        finally:
+            runtime.shutdown()
+
+    def test_timeout_then_retry_can_succeed(self):
+        state = {"calls": 0}
+
+        def slow_once():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                time.sleep(0.3)
+            return state["calls"]
+
+        runtime = Runtime(workers=2)
+        try:
+            result = runtime.call(
+                "slow-once",
+                slow_once,
+                affinity="thread",
+                retry=RetryPolicy(
+                    max_attempts=2,
+                    backoff_seconds=0.001,
+                    timeout_seconds=0.1,
+                ),
+            )
+            assert result == 2
+        finally:
+            runtime.shutdown()
+
+    def test_metrics_record_attempts(self):
+        state = {"calls": 0}
+
+        def eventually():
+            state["calls"] += 1
+            if state["calls"] < 2:
+                raise OSError("flake")
+            return 1
+
+        runtime = Runtime()
+        runtime.call(
+            "counted",
+            eventually,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.001),
+        )
+        assert runtime.report.task("counted").attempts == 2
