@@ -24,6 +24,9 @@ Package map
 ``repro.runtime``
     Task-graph execution runtime: pluggable executors,
     content-addressed caching, retries.
+``repro.observability``
+    Tracing spans, metrics, and the Chrome-trace / flat-profile
+    exporters every layer reports into.
 ``repro.storage``
     Block-based sparse tensor store.
 ``repro.experiments``
@@ -44,6 +47,17 @@ from .core import (
 )
 from .distributed import ClusterModel, distributed_m2td
 from .exceptions import ReproError
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    flat_profile,
+    get_metrics,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+    write_chrome_trace,
+)
 from .runtime import (
     ResultCache,
     RetryPolicy,
@@ -102,6 +116,15 @@ __all__ = [
     "ClusterModel",
     "distributed_m2td",
     "ReproError",
+    "MetricsRegistry",
+    "Tracer",
+    "flat_profile",
+    "get_metrics",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+    "write_chrome_trace",
     "ResultCache",
     "RetryPolicy",
     "Runtime",

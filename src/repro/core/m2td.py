@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as sps
 
 from ..exceptions import RankError, StitchError
+from ..observability import span as _span
 from ..sampling.partition import PFPartition
 from ..tensor.sparse import SparseTensor
 from ..tensor.svd import leading_left_singular_vectors, truncated_svd
@@ -190,76 +191,86 @@ def m2td_decompose(
     started = time.perf_counter()
     factors: List[Optional[np.ndarray]] = [None] * partition.n_modes
     for axis in range(k):
-        m1 = _matricize(x1, axis)
-        m2 = _matricize(x2, axis)
-        rank = join_ranks[axis]
-        if variant == "concat":
-            combined = _concat_matricizations(m1, m2)
-            factors[axis] = leading_left_singular_vectors(
-                combined, _clip_rank(rank, combined.shape)
-            )
-        else:
-            u1, s1, _vt1 = truncated_svd(m1, _clip_rank(rank, m1.shape))
-            u2, s2, _vt2 = truncated_svd(m2, _clip_rank(rank, m2.shape))
-            width = min(u1.shape[1], u2.shape[1])
-            u1, u2 = u1[:, :width], u2[:, :width]
-            s1, s2 = s1[:width], s2[:width]
-            if alignment == "procrustes":
-                u2 = procrustes_align(u1, u2)
-            if variant == "avg":
-                factors[axis] = average_factors(u1, u2)
+        with _span(
+            "pivot-factor", "stitch-factor", mode=axis, variant=variant
+        ):
+            m1 = _matricize(x1, axis)
+            m2 = _matricize(x2, axis)
+            rank = join_ranks[axis]
+            if variant == "concat":
+                combined = _concat_matricizations(m1, m2)
+                factors[axis] = leading_left_singular_vectors(
+                    combined, _clip_rank(rank, combined.shape)
+                )
             else:
-                factors[axis] = row_select(u1, u2, s1, s2)
-    for offset in range(f1):
-        axis = k + offset
-        matricized = _matricize(x1, axis)
-        factors[axis] = leading_left_singular_vectors(
-            matricized, _clip_rank(join_ranks[axis], matricized.shape)
-        )
-    for offset in range(len(partition.s2_free)):
-        axis = k + f1 + offset
-        matricized = _matricize(x2, k + offset)
-        factors[axis] = leading_left_singular_vectors(
-            matricized, _clip_rank(join_ranks[axis], matricized.shape)
-        )
+                u1, s1, _vt1 = truncated_svd(m1, _clip_rank(rank, m1.shape))
+                u2, s2, _vt2 = truncated_svd(m2, _clip_rank(rank, m2.shape))
+                width = min(u1.shape[1], u2.shape[1])
+                u1, u2 = u1[:, :width], u2[:, :width]
+                s1, s2 = s1[:width], s2[:width]
+                if alignment == "procrustes":
+                    u2 = procrustes_align(u1, u2)
+                if variant == "avg":
+                    factors[axis] = average_factors(u1, u2)
+                else:
+                    factors[axis] = row_select(u1, u2, s1, s2)
+    with _span("free-factors", "decompose", variant=variant):
+        for offset in range(f1):
+            axis = k + offset
+            matricized = _matricize(x1, axis)
+            factors[axis] = leading_left_singular_vectors(
+                matricized, _clip_rank(join_ranks[axis], matricized.shape)
+            )
+        for offset in range(len(partition.s2_free)):
+            axis = k + f1 + offset
+            matricized = _matricize(x2, k + offset)
+            factors[axis] = leading_left_singular_vectors(
+                matricized, _clip_rank(join_ranks[axis], matricized.shape)
+            )
     sub_decompose_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------- phase 2
     started = time.perf_counter()
     join_nnz = 0
     join_dense: Optional[np.ndarray] = None
-    if lazy:
-        x1_dense = _sub_dense(x1)
-        x2_dense = _sub_dense(x2)
-    else:
-        sparse1 = (
-            x1
-            if isinstance(x1, SparseTensor)
-            else SparseTensor.from_dense(np.asarray(x1), keep_zeros=True)
-        )
-        sparse2 = (
-            x2
-            if isinstance(x2, SparseTensor)
-            else SparseTensor.from_dense(np.asarray(x2), keep_zeros=True)
-        )
-        if join_kind == "join":
-            join = join_tensor(sparse1, sparse2, partition)
+    with _span(
+        "m2td-stitch", "stitch",
+        join_kind="lazy" if lazy else join_kind, variant=variant,
+    ) as stitch_span:
+        if lazy:
+            x1_dense = _sub_dense(x1)
+            x2_dense = _sub_dense(x2)
         else:
-            candidates1, candidates2 = zero_join_candidates or (None, None)
-            join = zero_join_tensor(
-                sparse1, sparse2, partition, candidates1, candidates2
+            sparse1 = (
+                x1
+                if isinstance(x1, SparseTensor)
+                else SparseTensor.from_dense(np.asarray(x1), keep_zeros=True)
             )
-        join_nnz = join.nnz
-        join_dense = join.to_dense()
+            sparse2 = (
+                x2
+                if isinstance(x2, SparseTensor)
+                else SparseTensor.from_dense(np.asarray(x2), keep_zeros=True)
+            )
+            if join_kind == "join":
+                join = join_tensor(sparse1, sparse2, partition)
+            else:
+                candidates1, candidates2 = zero_join_candidates or (None, None)
+                join = zero_join_tensor(
+                    sparse1, sparse2, partition, candidates1, candidates2
+                )
+            join_nnz = join.nnz
+            stitch_span.set(join_nnz=join_nnz)
+            join_dense = join.to_dense()
     stitch_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------- phase 3
     started = time.perf_counter()
-    factor_list = [np.asarray(f) for f in factors]
-    if lazy:
-        core = lazy_core(x1_dense, x2_dense, factor_list, partition)
-    else:
-        core = materialized_core(join_dense, factor_list)
+    with _span("m2td-core", "decompose", lazy=lazy, variant=variant):
+        factor_list = [np.asarray(f) for f in factors]
+        if lazy:
+            core = lazy_core(x1_dense, x2_dense, factor_list, partition)
+        else:
+            core = materialized_core(join_dense, factor_list)
     core_seconds = time.perf_counter() - started
 
     return M2TDResult(

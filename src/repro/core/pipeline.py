@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import SamplingError
+from ..observability import span as _span
 from ..runtime import Runtime
 from ..sampling.base import Sampler
 from ..sampling.budget import PartitionBudget, budget_for_fractions
@@ -175,7 +176,11 @@ class EnsembleStudy:
         ranks: Sequence[int],
     ) -> StudyResult:
         """Sample-then-decompose with a Section IV baseline scheme."""
-        sample = sampler.sample(self.space.shape, budget_cells)
+        with _span(
+            "conventional-sample", "sample",
+            sampler=sampler.name, budget_cells=budget_cells,
+        ):
+            sample = sampler.sample(self.space.shape, budget_cells)
         baseline = decompose_sample(self.truth, sample, ranks)
         return StudyResult(
             scheme=sampler.name,
@@ -284,9 +289,14 @@ class EnsembleStudy:
         budget = budget_for_fractions(
             partition, pivot_fraction=pivot_fraction, free_fraction=free_fraction
         )
-        x1, x2, cells, runs = self.sample_sub_ensembles(
-            partition, budget, sub_sampling=sub_sampling, seed=seed
-        )
+        with _span(
+            "sample-sub-ensembles", "sample",
+            pivot=pivot, sub_sampling=sub_sampling,
+        ) as sample_span:
+            x1, x2, cells, runs = self.sample_sub_ensembles(
+                partition, budget, sub_sampling=sub_sampling, seed=seed
+            )
+            sample_span.set(cells=cells, runs=runs)
         started = time.perf_counter()
         result = m2td_decompose(
             x1,

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..exceptions import StitchError
+from ..observability import get_metrics, span as _span
 from ..sampling.partition import PFPartition
 from ..tensor.sparse import SparseTensor
 
@@ -110,24 +111,35 @@ def join_tensor(
     S2 free); use :func:`to_original_order` to permute it back to the
     system's native mode order.
     """
-    p1, f1 = _split_sub_coords(x1, partition, 1)
-    p2, f2 = _split_sub_coords(x2, partition, 2)
-    groups1 = _group_by_pivot(p1, f1, x1.values)
-    groups2 = _group_by_pivot(p2, f2, x2.values)
-    pivot_parts, free1_parts, free2_parts, value_parts = [], [], [], []
-    for pivot, (frees1, vals1) in groups1.items():
-        other = groups2.get(pivot)
-        if other is None:
-            continue
-        frees2, vals2 = other
-        n1, n2 = frees1.shape[0], frees2.shape[0]
-        pivot_parts.append(np.full(n1 * n2, pivot, dtype=np.int64))
-        free1_parts.append(np.repeat(frees1, n2))
-        free2_parts.append(np.tile(frees2, n1))
-        value_parts.append(
-            0.5 * (np.repeat(vals1, n2) + np.tile(vals2, n1))
+    with _span(
+        "join-tensor", "stitch", nnz1=x1.nnz, nnz2=x2.nnz,
+        join_shape=partition.join_shape,
+    ) as sp:
+        p1, f1 = _split_sub_coords(x1, partition, 1)
+        p2, f2 = _split_sub_coords(x2, partition, 2)
+        groups1 = _group_by_pivot(p1, f1, x1.values)
+        groups2 = _group_by_pivot(p2, f2, x2.values)
+        pivot_parts, free1_parts, free2_parts, value_parts = [], [], [], []
+        for pivot, (frees1, vals1) in groups1.items():
+            other = groups2.get(pivot)
+            if other is None:
+                continue
+            frees2, vals2 = other
+            n1, n2 = frees1.shape[0], frees2.shape[0]
+            pivot_parts.append(np.full(n1 * n2, pivot, dtype=np.int64))
+            free1_parts.append(np.repeat(frees1, n2))
+            free2_parts.append(np.tile(frees2, n1))
+            value_parts.append(
+                0.5 * (np.repeat(vals1, n2) + np.tile(vals2, n1))
+            )
+        join = _assemble(
+            partition, pivot_parts, free1_parts, free2_parts, value_parts
         )
-    return _assemble(partition, pivot_parts, free1_parts, free2_parts, value_parts)
+        sp.set(join_nnz=join.nnz)
+        metrics = get_metrics()
+        metrics.counter("stitch.joins").inc()
+        metrics.counter("stitch.join_nnz").inc(join.nnz)
+        return join
 
 
 def zero_join_tensor(
@@ -155,6 +167,25 @@ def zero_join_tensor(
     contributes ``x1 / 2`` at every candidate ``b``; symmetrically for
     ``X2``.
     """
+    with _span(
+        "zero-join-tensor", "stitch", nnz1=x1.nnz, nnz2=x2.nnz,
+        join_shape=partition.join_shape,
+    ) as sp:
+        join = _zero_join(x1, x2, partition, candidates1, candidates2)
+        sp.set(join_nnz=join.nnz)
+        metrics = get_metrics()
+        metrics.counter("stitch.joins").inc()
+        metrics.counter("stitch.join_nnz").inc(join.nnz)
+        return join
+
+
+def _zero_join(
+    x1: SparseTensor,
+    x2: SparseTensor,
+    partition: PFPartition,
+    candidates1: Optional[np.ndarray],
+    candidates2: Optional[np.ndarray],
+) -> SparseTensor:
     p1, f1 = _split_sub_coords(x1, partition, 1)
     p2, f2 = _split_sub_coords(x2, partition, 2)
     groups1 = _group_by_pivot(p1, f1, x1.values)

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import MapReduceError
+from ..observability import span as _span
 from ..runtime import Runtime, TaskGraph, output
 from ..sampling.partition import PFPartition
 from ..tensor.sparse import SparseTensor
@@ -92,14 +93,22 @@ def dm2td_task_graph(
     f2 = len(partition.s2_free)
 
     def run_phase1():
-        ranks1 = tuple(join_ranks[:k]) + tuple(join_ranks[k : k + f1])
-        ranks2 = tuple(join_ranks[:k]) + tuple(join_ranks[k + f1 :])
-        job1 = phase1_job({1: ranks1, 2: ranks2})
-        return engine.run(job1, phase1_records(x1, x2))
+        with _span(
+            "dm2td-phase1", "decompose", variant=variant,
+            nnz1=x1.nnz, nnz2=x2.nnz,
+        ):
+            ranks1 = tuple(join_ranks[:k]) + tuple(join_ranks[k : k + f1])
+            ranks2 = tuple(join_ranks[:k]) + tuple(join_ranks[k + f1 :])
+            job1 = phase1_job({1: ranks1, 2: ranks2})
+            return engine.run(job1, phase1_records(x1, x2))
 
     def combine_pivots(phase1_out):
         # Combine pivot factors per variant (driver side; tiny
         # matrices).
+        with _span("dm2td-combine-pivots", "stitch-factor", variant=variant):
+            return _combine_pivots(phase1_out)
+
+    def _combine_pivots(phase1_out):
         out1, _stats1 = phase1_out
         factors_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
         svals_by_side: Dict[int, Dict[int, np.ndarray]] = {1: {}, 2: {}}
@@ -132,23 +141,27 @@ def dm2td_task_graph(
         # configurations observed anywhere in each sub-ensemble); each
         # per-pivot reducer only sees its own group, so the driver
         # broadcasts them into the job.
-        candidates1 = candidates2 = None
-        if join_kind == "zero":
-            candidates1 = np.unique(_split_flat(x1, partition, 1)[1])
-            candidates2 = np.unique(_split_flat(x2, partition, 2)[1])
-        job2 = phase2_job(
-            partition,
-            join_kind=join_kind,
-            candidates1=candidates1,
-            candidates2=candidates2,
-        )
-        return engine.run(job2, phase2_records(x1, x2, partition))
+        with _span("dm2td-phase2", "stitch", join_kind=join_kind):
+            candidates1 = candidates2 = None
+            if join_kind == "zero":
+                candidates1 = np.unique(_split_flat(x1, partition, 1)[1])
+                candidates2 = np.unique(_split_flat(x2, partition, 2)[1])
+            job2 = phase2_job(
+                partition,
+                join_kind=join_kind,
+                candidates1=candidates1,
+                candidates2=candidates2,
+            )
+            return engine.run(job2, phase2_records(x1, x2, partition))
 
     def run_phase3(combined, phase2_out):
-        pivot_factors, s1_factors, s2_factors = combined
-        blocks, _stats2 = phase2_out
-        job3 = phase3_job(partition, pivot_factors, s1_factors, s2_factors)
-        return engine.run(job3, blocks)
+        with _span("dm2td-phase3", "decompose", variant=variant):
+            pivot_factors, s1_factors, s2_factors = combined
+            blocks, _stats2 = phase2_out
+            job3 = phase3_job(
+                partition, pivot_factors, s1_factors, s2_factors
+            )
+            return engine.run(job3, blocks)
 
     graph = TaskGraph()
     graph.add("phase1", run_phase1, affinity="thread")

@@ -12,6 +12,7 @@ split and the scaling shape, not JVM details).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
@@ -19,6 +20,7 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tupl
 import numpy as np
 
 from ..exceptions import MapReduceError
+from ..observability import get_metrics, span as _span
 from ..runtime.executors import Executor, InlineExecutor, ThreadExecutor
 
 #: A key-value record flowing through the pipeline.
@@ -168,21 +170,28 @@ class LocalMapReduceEngine:
             task = TaskStats(task_id=f"map-{task_index}")
             emitted_records: List[Record] = []
             started = time.perf_counter()
-            for record_index in chunk:
-                key, value = records[record_index]
-                task.records_in += 1
-                task.bytes_in += payload_bytes(value)
-                try:
-                    emitted = list(map_fn(key, value))
-                except Exception as exc:
-                    raise MapReduceError(
-                        f"map task {task.task_id} of job {job.name!r} "
-                        f"failed on key {key!r}: {exc}"
-                    ) from exc
-                for out_key, out_value in emitted:
-                    task.records_out += 1
-                    task.bytes_out += payload_bytes(out_value)
-                    emitted_records.append((out_key, out_value))
+            with _span(
+                task.task_id, "mapreduce", job=job.name, stage="map",
+                worker=threading.current_thread().name,
+            ) as sp:
+                for record_index in chunk:
+                    key, value = records[record_index]
+                    task.records_in += 1
+                    task.bytes_in += payload_bytes(value)
+                    try:
+                        emitted = list(map_fn(key, value))
+                    except Exception as exc:
+                        raise MapReduceError(
+                            f"map task {task.task_id} of job {job.name!r} "
+                            f"failed on key {key!r}: {exc}"
+                        ) from exc
+                    for out_key, out_value in emitted:
+                        task.records_out += 1
+                        task.bytes_out += payload_bytes(out_value)
+                        emitted_records.append((out_key, out_value))
+                sp.set(
+                    records_in=task.records_in, records_out=task.records_out
+                )
             task.compute_seconds = time.perf_counter() - started
             return task, emitted_records
 
@@ -196,12 +205,21 @@ class LocalMapReduceEngine:
             intermediate.extend(emitted_records)
 
         # ----------------------------------------------------- shuffle
-        groups: Dict[Hashable, List[Any]] = {}
-        for key, value in intermediate:
-            groups.setdefault(key, []).append(value)
-        stats.shuffle_bytes = sum(
-            payload_bytes(v) for _k, v in intermediate
-        )
+        with _span(
+            "shuffle", "mapreduce", job=job.name, stage="shuffle",
+        ) as shuffle_span:
+            groups: Dict[Hashable, List[Any]] = {}
+            for key, value in intermediate:
+                groups.setdefault(key, []).append(value)
+            stats.shuffle_bytes = sum(
+                payload_bytes(v) for _k, v in intermediate
+            )
+            shuffle_span.set(
+                shuffle_bytes=stats.shuffle_bytes, keys=len(groups)
+            )
+        metrics = get_metrics()
+        metrics.counter("mapreduce.jobs").inc()
+        metrics.counter("mapreduce.shuffle_bytes").inc(stats.shuffle_bytes)
 
         # ----------------------------------------------------- reduce
         output: List[Record] = []
@@ -217,13 +235,17 @@ class LocalMapReduceEngine:
             task.records_in = len(values)
             task.bytes_in = sum(payload_bytes(v) for v in values)
             started = time.perf_counter()
-            try:
-                emitted = list(job.reduce_fn(key, values))
-            except Exception as exc:
-                raise MapReduceError(
-                    f"reduce task for key {key!r} of job {job.name!r} "
-                    f"failed: {exc}"
-                ) from exc
+            with _span(
+                task.task_id, "mapreduce", job=job.name, stage="reduce",
+                worker=threading.current_thread().name,
+            ):
+                try:
+                    emitted = list(job.reduce_fn(key, values))
+                except Exception as exc:
+                    raise MapReduceError(
+                        f"reduce task for key {key!r} of job {job.name!r} "
+                        f"failed: {exc}"
+                    ) from exc
             task.compute_seconds = time.perf_counter() - started
             for _out_key, out_value in emitted:
                 task.records_out += 1

@@ -21,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..observability import add_observability_args, observe, span
 from ..runtime import Runtime
 from .config import default_config, quick_config
 from .runner import available_experiments, run_all, run_experiment
@@ -61,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk content-addressed cache; repeated invocations "
         "reuse ground-truth tensors instead of re-simulating",
     )
+    add_observability_args(parser)
     return parser
 
 
@@ -81,17 +83,25 @@ def main(argv=None) -> int:
     runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     sections = []
     try:
-        if args.all:
-            reports = run_all(config, runtime=runtime)
-            for experiment_id in targets:
-                sections.append(reports[experiment_id].render())
-        else:
-            for experiment_id in targets:
-                started = time.perf_counter()
-                report = run_experiment(experiment_id, config, runtime=runtime)
-                elapsed = time.perf_counter() - started
-                rendered = report.render()
-                sections.append(f"{rendered}\n[ran in {elapsed:.1f}s]")
+        with observe(args.trace, args.profile, args.metrics):
+            if args.all:
+                with span("experiments:all", "experiment"):
+                    reports = run_all(config, runtime=runtime)
+                for experiment_id in targets:
+                    sections.append(reports[experiment_id].render())
+            else:
+                for experiment_id in targets:
+                    started = time.perf_counter()
+                    with span(
+                        f"experiment:{experiment_id}", "experiment",
+                        quick=args.quick,
+                    ):
+                        report = run_experiment(
+                            experiment_id, config, runtime=runtime
+                        )
+                    elapsed = time.perf_counter() - started
+                    rendered = report.render()
+                    sections.append(f"{rendered}\n[ran in {elapsed:.1f}s]")
     finally:
         runtime.shutdown()
     text = "\n\n".join(sections)

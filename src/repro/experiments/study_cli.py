@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..core.pipeline import EnsembleStudy, StudyResult
 from ..exceptions import ExperimentError
+from ..observability import add_observability_args, observe, span
 from ..runtime import Runtime, TaskGraph, output
 from ..simulation import make_system
 from .reporting import format_table
@@ -201,11 +202,18 @@ def main(argv=None) -> int:
         "studies over the same (system, resolution) reuse the "
         "ground-truth tensor instead of re-simulating",
     )
+    add_observability_args(parser)
     args = parser.parse_args(argv)
     config = load_config(args.config)
     runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     try:
-        results = run_config(config, runtime=runtime)
+        with observe(args.trace, args.profile, args.metrics):
+            with span(
+                "study", "experiment",
+                system=str(config["system"]),
+                resolution=int(config["resolution"]),
+            ):
+                results = run_config(config, runtime=runtime)
     finally:
         runtime.shutdown()
     print(render_results(results))

@@ -1,0 +1,86 @@
+"""repro.observability — tracing, metrics, and profiling hooks.
+
+The instrumentation layer the rest of the stack reports into:
+
+:func:`span` / :class:`Tracer`
+    Nested wall/CPU-timed spans with attributes (tensor shape, nnz,
+    rank, worker).  The default tracer is a no-op; CLIs install a real
+    one for ``--trace`` / ``--profile``.
+:class:`MetricsRegistry` / :func:`get_metrics`
+    Process-wide counters, gauges and histograms.
+:func:`write_chrome_trace` / :func:`flat_profile` / :func:`write_metrics`
+    Exporters: ``chrome://tracing``-loadable JSON, a flat text
+    self/cumulative profile per span category, and a JSON metrics dump.
+
+Span taxonomy (the categories the flat profile splits time across):
+
+==============  ======================================================
+category        covers
+==============  ======================================================
+sample          drawing cell coordinates / sub-ensemble selection
+simulate        integrator batches and ground-truth construction
+stitch          join / zero-join tensor assembly
+decompose       SVDs, HOSVD/HOOI sweeps, M2TD core recovery
+stitch-factor   combining pivot factor matrices (AVG/CONCAT/SELECT)
+tensor-op       low-level unfold/fold/TTM/matricize primitives
+mapreduce       map/reduce tasks of the local engine
+experiment      one CLI experiment run end to end
+runtime-task    task-graph metrics bridged from ``RuntimeReport``
+==============  ======================================================
+
+This package imports nothing from the rest of ``repro`` so that every
+layer (tensor primitives included) can depend on it freely.
+"""
+
+from .cli import add_observability_args, observe
+from .exporters import (
+    chrome_trace,
+    flat_profile,
+    write_chrome_trace,
+    write_flat_profile,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "add_observability_args",
+    "observe",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "chrome_trace",
+    "flat_profile",
+    "write_chrome_trace",
+    "write_flat_profile",
+    "write_metrics",
+]

@@ -1,0 +1,74 @@
+"""Argparse glue shared by the CLIs: ``--trace`` / ``--profile`` /
+``--metrics`` flags and the session that honours them.
+
+Usage::
+
+    add_observability_args(parser)
+    args = parser.parse_args(argv)
+    with observe(args.trace, args.profile, args.metrics):
+        ...   # run; exporters fire on exit (also on error)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .exporters import flat_profile, write_chrome_trace, write_metrics
+from .tracer import Tracer, use_tracer
+
+__all__ = ["add_observability_args", "observe"]
+
+
+def add_observability_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome-trace JSON of the run (open in "
+        "chrome://tracing or Perfetto)",
+    )
+    group.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="write a flat text profile (self/cumulative wall time per "
+        "span category); '-' prints it to stderr",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the process metrics registry (counters/gauges/"
+        "histograms) as JSON",
+    )
+
+
+@contextmanager
+def observe(
+    trace_path: Optional[str] = None,
+    profile_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> Iterator[Optional[Tracer]]:
+    """Install a tracer when any trace output was requested and export
+    everything on the way out (even when the run raised — a partial
+    trace of a failed run is exactly when you want one)."""
+    wants_trace = bool(trace_path or profile_path)
+    tracer = Tracer() if wants_trace else None
+    try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                yield tracer
+        else:
+            yield None
+    finally:
+        if tracer is not None and trace_path:
+            write_chrome_trace(tracer, trace_path)
+        if tracer is not None and profile_path:
+            if profile_path == "-":
+                print(flat_profile(tracer), file=sys.stderr)
+            else:
+                with open(profile_path, "w") as handle:
+                    handle.write(flat_profile(tracer) + "\n")
+        if metrics_path:
+            write_metrics(metrics_path)

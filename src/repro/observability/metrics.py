@@ -1,0 +1,188 @@
+"""Counters, gauges and histograms behind one process-wide registry.
+
+Metrics complement spans: a span answers "where did this second go",
+a metric answers "how many SVDs / simulated cells / shuffled bytes did
+this process see in total".  Updates are cheap (a per-metric lock and
+an add), so the registry is always live — the ``--metrics`` CLI flag
+only controls whether the dump is written.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Keeps count/sum/min/max (and derives the mean) — enough for the
+    profiles this library reports without committing to a bucket
+    layout.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, one instance per name.
+
+    Asking for an existing name with a different kind is an error —
+    silent kind changes would corrupt every dashboard reading the dump.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, requested {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """``{name: {kind, value(s)}}`` snapshot, names sorted."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in items}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> None:
+    """Swap the process-wide registry (``None`` installs a fresh one)."""
+    global _registry
+    _registry = registry if registry is not None else MetricsRegistry()
+
+
+@contextmanager
+def use_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Temporarily install a (fresh by default) registry — test idiom."""
+    previous = _registry
+    set_metrics(registry or MetricsRegistry())
+    try:
+        yield _registry
+    finally:
+        set_metrics(previous)

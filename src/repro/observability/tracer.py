@@ -1,0 +1,318 @@
+"""Nested-span tracing with a zero-overhead no-op default.
+
+The library's hot paths call :func:`span` unconditionally; whether
+anything is recorded depends on the process-wide active tracer.  The
+default is a :class:`NullTracer` whose ``span()`` hands back one shared
+do-nothing context manager, so instrumentation costs a function call
+and a dict build per site — the overhead-guard test bounds the total
+against a pipeline run.
+
+Spans nest per thread: each thread keeps its own open-span stack, so a
+span opened on an executor worker becomes a top-level span of that
+thread rather than a child of whatever the main thread had open.  Every
+span records wall time (``perf_counter``), CPU time (``process_time``),
+its thread name, and free-form attributes (tensor shape, nnz, rank,
+worker id, ...).
+
+Timestamps are offsets from the tracer's construction (its *epoch*),
+which is what the Chrome-trace exporter wants and what
+:meth:`Tracer.ingest_report` maps runtime task metrics onto.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed, attributed, possibly-nested trace span."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "started",
+        "wall_seconds",
+        "cpu_seconds",
+        "attrs",
+        "children",
+        "thread",
+        "error",
+        "_tracer",
+        "_cpu_started",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str, attrs: Dict[str, Any]
+    ):
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        #: Offset from the tracer's epoch, in seconds.
+        self.started = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.children: List["Span"] = []
+        self.thread = ""
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._cpu_started = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (e.g. an output nnz)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not covered by child spans."""
+        return max(
+            0.0, self.wall_seconds - sum(c.wall_seconds for c in self.children)
+        )
+
+    def __enter__(self) -> "Span":
+        self.started = time.perf_counter() - self._tracer.epoch
+        self._cpu_started = time.process_time()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        self.wall_seconds = (
+            time.perf_counter() - self._tracer.epoch - self.started
+        )
+        self.cpu_seconds = time.process_time() - self._cpu_started
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        self._tracer._pop(self)
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, category={self.category!r}, "
+            f"wall={self.wall_seconds:.6f}s, children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> bool:
+        return False
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans, one tree set per thread."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "misc", **attrs: Any) -> Span:
+        """A new span; use as a context manager."""
+        return Span(self, name, category, attrs)
+
+    def record_span(
+        self,
+        name: str,
+        category: str,
+        wall_seconds: float,
+        started: Optional[float] = None,
+        cpu_seconds: float = 0.0,
+        thread: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-measured span (post-hoc bridge path).
+
+        ``started`` is a ``time.perf_counter()`` reading; when omitted
+        the span is back-dated so it ends now.  Bridged spans are
+        always top-level — they describe work that happened elsewhere
+        (an executor worker, a cache lookup), not inside the caller's
+        open span.
+        """
+        completed = Span(self, name, category, attrs)
+        if started is None:
+            started = time.perf_counter() - wall_seconds
+        completed.started = max(0.0, started - self.epoch)
+        completed.wall_seconds = float(wall_seconds)
+        completed.cpu_seconds = float(cpu_seconds)
+        completed.thread = thread or threading.current_thread().name
+        with self._lock:
+            self._roots.append(completed)
+        return completed
+
+    def ingest_report(self, report: Any) -> None:
+        """Merge a runtime :class:`~repro.runtime.report.RuntimeReport`
+        into this trace, one ``runtime-task`` span per task (duck-typed
+        so the observability layer stays import-free of the runtime)."""
+        for task in getattr(report, "tasks", []):
+            self.record_span(
+                f"task:{task.name}",
+                "runtime-task",
+                wall_seconds=task.wall_seconds,
+                started=getattr(task, "started_at", None) or None,
+                executor=task.executor,
+                attempts=task.attempts,
+                cache_hit=task.cache_hit,
+                cached=task.cached,
+                error=task.error,
+            )
+
+    # ------------------------------------------------------------------
+    # per-thread stack plumbing
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, entered: Span) -> None:
+        self._stack().append(entered)
+
+    def _pop(self, exited: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is exited:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop defensively
+            if exited in stack:
+                stack.remove(exited)
+        exited.thread = threading.current_thread().name
+        if stack:
+            stack[-1].children.append(exited)
+        else:
+            with self._lock:
+                self._roots.append(exited)
+
+    # ------------------------------------------------------------------
+    # reading the trace back
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Completed top-level spans (all threads), in start order."""
+        with self._lock:
+            return sorted(self._roots, key=lambda s: s.started)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every completed span, depth-first within each root."""
+        for root in self.roots():
+            yield from root.walk()
+
+    @property
+    def n_spans(self) -> int:
+        return sum(1 for _ in self.iter_spans())
+
+    def total_wall_seconds(self) -> float:
+        """Summed wall time of the top-level spans."""
+        return sum(root.wall_seconds for root in self.roots())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots = []
+
+
+class NullTracer:
+    """The disabled default: records nothing, allocates nothing."""
+
+    enabled = False
+    epoch = 0.0
+
+    def span(self, name: str, category: str = "misc", **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, *args: Any, **kwargs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def ingest_report(self, report: Any) -> None:
+        pass
+
+    def roots(self) -> List[Span]:
+        return []
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    n_spans = 0
+
+    def total_wall_seconds(self) -> float:
+        return 0.0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_active: Any = NULL_TRACER
+
+
+def get_tracer() -> Any:
+    """The process-wide active tracer (a :class:`NullTracer` unless
+    tracing was switched on via :func:`set_tracer`/:func:`use_tracer`)."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Any]) -> None:
+    """Install ``tracer`` process-wide; ``None`` restores the no-op."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+
+
+def span(name: str, category: str = "misc", **attrs: Any) -> Any:
+    """Open a span on the active tracer (no-op while disabled).
+
+    This is the one call instrumented code sites use::
+
+        with span("hosvd", "decompose", shape=tensor.shape, ranks=ranks):
+            ...
+    """
+    tracer = _active
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, category, **attrs)
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Any]) -> Iterator[Any]:
+    """Temporarily install a tracer (tests and CLIs)."""
+    previous = _active
+    set_tracer(tracer)
+    try:
+        yield _active
+    finally:
+        set_tracer(previous)

@@ -36,6 +36,7 @@ from ..exceptions import (
     TaskGraphError,
     TaskTimeoutError,
 )
+from ..observability import get_metrics, get_tracer
 from .cache import ResultCache, fingerprint
 from .executors import Executor, InlineExecutor, ProcessExecutor, ThreadExecutor
 from .graph import Task, TaskGraph, TaskOutput
@@ -142,6 +143,8 @@ class TaskGraphRunner:
             m.attempts = attempt
             args = tuple(_resolve(a, results) for a in task.args)
             kwargs = {k: _resolve(v, results) for k, v in task.kwargs.items()}
+            if attempt == 1:
+                m.started_at = time.perf_counter()
             started = time.monotonic()
             deadline = (
                 started + policy.timeout_seconds
@@ -327,9 +330,24 @@ class Runtime:
 
     # ------------------------------------------------------------------
     def run(self, graph: TaskGraph) -> RunOutcome:
-        """Run a graph; metrics also accumulate on ``self.report``."""
+        """Run a graph; metrics also accumulate on ``self.report``.
+
+        When tracing is active the run's :class:`TaskMetrics` are
+        bridged into the trace as ``runtime-task`` spans, and the
+        cache counters tick on the process metrics registry — task
+        execution itself is never touched.
+        """
         outcome = self._runner.run(graph)
         self.report.merge(outcome.report)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.ingest_report(outcome.report)
+        metrics = get_metrics()
+        metrics.counter("runtime.tasks").inc(outcome.report.n_tasks)
+        metrics.counter("runtime.cache_hits").inc(outcome.report.cache_hits)
+        metrics.counter("runtime.cache_misses").inc(
+            outcome.report.cache_misses
+        )
         return outcome
 
     def call(

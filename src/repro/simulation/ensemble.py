@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..observability import get_metrics, span as _span
 from ..tensor.sparse import SparseTensor
 from .integrators import rk4_sampled
 from .observation import Observation
@@ -94,13 +95,22 @@ def simulate_fibers(
     system = space.system
     params = space.batch_param_values(param_indices)
     started = time.perf_counter()
-    deriv = system.batch_derivative(params)
-    y0 = system.batch_initial_state(params)
-    sampled = rk4_sampled(
-        deriv, y0, 0.0, system.t_end, system.n_steps, space.time_indices
-    )
+    with _span(
+        "simulate-fibers", "simulate",
+        system=system.name, batch=param_indices.shape[0],
+    ):
+        deriv = system.batch_derivative(params)
+        y0 = system.batch_initial_state(params)
+        sampled = rk4_sampled(
+            deriv, y0, 0.0, system.t_end, system.n_steps, space.time_indices
+        )
     elapsed = time.perf_counter() - started
     distances = observation.distances(sampled)  # (T, B)
+    metrics = get_metrics()
+    metrics.counter("simulate.runs").inc(param_indices.shape[0])
+    metrics.counter("simulate.cells").inc(
+        param_indices.shape[0] * space.time_resolution
+    )
     if meter is not None:
         meter.charge(
             runs=param_indices.shape[0],
@@ -127,17 +137,22 @@ def full_space_tensor(
     n_params = space.n_param_modes
     resolution = space.resolution
     total = space.n_simulations_full
-    tensor = np.empty(space.shape, dtype=np.float64)
-    flat_view = tensor.reshape(total, space.time_resolution)
-    all_indices = np.stack(
-        np.unravel_index(np.arange(total), (resolution,) * n_params), axis=1
-    )
-    for start in range(0, total, chunk_size):
-        block = all_indices[start : start + chunk_size]
-        flat_view[start : start + block.shape[0]] = simulate_fibers(
-            space, observation, block, meter=meter
+    with _span(
+        "full-space-tensor", "simulate",
+        system=space.system.name, shape=space.shape, runs=total,
+    ):
+        tensor = np.empty(space.shape, dtype=np.float64)
+        flat_view = tensor.reshape(total, space.time_resolution)
+        all_indices = np.stack(
+            np.unravel_index(np.arange(total), (resolution,) * n_params),
+            axis=1,
         )
-    return tensor
+        for start in range(0, total, chunk_size):
+            block = all_indices[start : start + chunk_size]
+            flat_view[start : start + block.shape[0]] = simulate_fibers(
+                space, observation, block, meter=meter
+            )
+        return tensor
 
 
 def ensemble_from_truth(

@@ -22,6 +22,7 @@ import scipy.sparse as sps
 import scipy.sparse.linalg as spla
 
 from ..exceptions import RankError
+from ..observability import get_metrics, span as _span
 
 MatrixLike = Union[np.ndarray, sps.spmatrix]
 
@@ -75,22 +76,36 @@ def truncated_svd(
     rank = _validate_rank(matrix.shape, rank)
     is_sparse = sps.issparse(matrix)
     small = min(matrix.shape) <= 32
-    if is_sparse and not small and rank < min(matrix.shape):
-        # v0 fixed for determinism of the underlying Lanczos iteration.
-        v0 = np.ones(min(matrix.shape), dtype=np.float64)
-        u, s, vt = spla.svds(matrix.astype(np.float64), k=rank, v0=v0)
-        order = np.argsort(s)[::-1]
-        u, s, vt = u[:, order], s[order], vt[order]
-    else:
-        dense = matrix.toarray() if is_sparse else np.asarray(matrix, dtype=np.float64)
-        u, s, vt = np.linalg.svd(dense, full_matrices=False)
-        u, s, vt = u[:, :rank], s[:rank], vt[:rank]
-    u = np.array(u, dtype=np.float64, copy=True)
-    vt = np.array(vt, dtype=np.float64, copy=True)
-    flip = sign_flip_mask(u)
-    u[:, flip] *= -1.0
-    vt[flip, :] *= -1.0
-    return u, s, vt
+    metrics = get_metrics()
+    metrics.counter("svd.calls").inc()
+    metrics.histogram("svd.rank").observe(rank)
+    with _span(
+        "truncated-svd",
+        "decompose",
+        shape=matrix.shape,
+        rank=rank,
+        sparse=bool(is_sparse),
+    ):
+        if is_sparse and not small and rank < min(matrix.shape):
+            # v0 fixed for determinism of the underlying Lanczos iteration.
+            v0 = np.ones(min(matrix.shape), dtype=np.float64)
+            u, s, vt = spla.svds(matrix.astype(np.float64), k=rank, v0=v0)
+            order = np.argsort(s)[::-1]
+            u, s, vt = u[:, order], s[order], vt[order]
+        else:
+            dense = (
+                matrix.toarray()
+                if is_sparse
+                else np.asarray(matrix, dtype=np.float64)
+            )
+            u, s, vt = np.linalg.svd(dense, full_matrices=False)
+            u, s, vt = u[:, :rank], s[:rank], vt[:rank]
+        u = np.array(u, dtype=np.float64, copy=True)
+        vt = np.array(vt, dtype=np.float64, copy=True)
+        flip = sign_flip_mask(u)
+        u[:, flip] *= -1.0
+        vt[flip, :] *= -1.0
+        return u, s, vt
 
 
 def leading_left_singular_vectors(matrix: MatrixLike, rank: int) -> np.ndarray:

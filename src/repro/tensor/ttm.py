@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..observability import span as _span
 from .unfold import check_mode, fold, unfold
 
 
@@ -46,8 +47,10 @@ def ttm(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
         )
     result_shape = list(tensor.shape)
     result_shape[mode] = matrix.shape[0]
-    product = matrix @ unfold(tensor, mode)
-    return fold(product, mode, tuple(result_shape))
+    with _span("ttm", "tensor-op", shape=tensor.shape, mode=mode,
+               rows=matrix.shape[0]):
+        product = matrix @ unfold(tensor, mode)
+        return fold(product, mode, tuple(result_shape))
 
 
 def multi_ttm(
@@ -83,13 +86,15 @@ def multi_ttm(
             f"need one matrix per mode ({tensor.ndim}), got {len(matrices)}"
         )
     skip_set = set() if skip is None else {check_mode(tensor.ndim, s) for s in skip}
-    result = tensor
-    for mode, matrix in enumerate(matrices):
-        if matrix is None or mode in skip_set:
-            continue
-        operand = np.asarray(matrix).T if transpose else np.asarray(matrix)
-        result = ttm(result, operand, mode)
-    return result
+    with _span("multi-ttm", "tensor-op", shape=tensor.shape,
+               transpose=transpose):
+        result = tensor
+        for mode, matrix in enumerate(matrices):
+            if matrix is None or mode in skip_set:
+                continue
+            operand = np.asarray(matrix).T if transpose else np.asarray(matrix)
+            result = ttm(result, operand, mode)
+        return result
 
 
 def ttv(tensor: np.ndarray, vector: np.ndarray, mode: int) -> np.ndarray:

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..exceptions import RankError, ShapeError
+from ..observability import span as _span
 from .ops import frobenius_norm, relative_error
 from .sparse import SparseTensor
 from .svd import leading_left_singular_vectors
@@ -145,12 +146,21 @@ def hosvd(tensor: TensorLike, ranks: Sequence[int]) -> TuckerTensor:
     """
     shape = tensor.shape
     ranks = validate_ranks(shape, ranks)
-    factors = [
-        leading_left_singular_vectors(_mode_matricization(tensor, mode), rank)
-        for mode, rank in enumerate(ranks)
-    ]
-    core = multi_ttm(_as_dense(tensor), factors, transpose=True)
-    return TuckerTensor(core, factors)
+    with _span(
+        "hosvd",
+        "decompose",
+        shape=shape,
+        ranks=ranks,
+        sparse=isinstance(tensor, SparseTensor),
+    ):
+        factors = [
+            leading_left_singular_vectors(
+                _mode_matricization(tensor, mode), rank
+            )
+            for mode, rank in enumerate(ranks)
+        ]
+        core = multi_ttm(_as_dense(tensor), factors, transpose=True)
+        return TuckerTensor(core, factors)
 
 
 def st_hosvd(tensor: TensorLike, ranks: Sequence[int]) -> TuckerTensor:
@@ -165,16 +175,17 @@ def st_hosvd(tensor: TensorLike, ranks: Sequence[int]) -> TuckerTensor:
     """
     shape = tensor.shape
     ranks = validate_ranks(shape, ranks)
-    current = _as_dense(tensor)
-    factors: List[np.ndarray] = []
-    for mode, rank in enumerate(ranks):
-        matricized = unfold(current, mode)
-        effective = min(rank, min(matricized.shape))
-        factor = leading_left_singular_vectors(matricized, effective)
-        factors.append(factor)
-        # Project this mode away before touching the next one.
-        current = ttm(current, factor.T, mode)
-    return TuckerTensor(current, factors)
+    with _span("st-hosvd", "decompose", shape=shape, ranks=ranks):
+        current = _as_dense(tensor)
+        factors: List[np.ndarray] = []
+        for mode, rank in enumerate(ranks):
+            matricized = unfold(current, mode)
+            effective = min(rank, min(matricized.shape))
+            factor = leading_left_singular_vectors(matricized, effective)
+            factors.append(factor)
+            # Project this mode away before touching the next one.
+            current = ttm(current, factor.T, mode)
+        return TuckerTensor(current, factors)
 
 
 def hooi(
@@ -201,20 +212,24 @@ def hooi(
     factors = [f.copy() for f in current.factors]
     norm = frobenius_norm(dense)
     previous_fit = -np.inf
-    for _sweep in range(max(1, int(n_iter))):
-        for mode in range(dense.ndim):
-            projected = multi_ttm(
-                dense, factors, transpose=True, skip=[mode]
-            )
-            factors[mode] = leading_left_singular_vectors(
-                unfold(projected, mode), ranks[mode]
-            )
-        core = multi_ttm(dense, factors, transpose=True)
-        # For orthonormal factors ||X - X~||^2 = ||X||^2 - ||G||^2.
-        fit = frobenius_norm(core)
-        if norm > 0 and abs(fit - previous_fit) / norm < tol:
+    with _span("hooi", "decompose", shape=shape, ranks=ranks) as sp:
+        sweeps = 0
+        for _sweep in range(max(1, int(n_iter))):
+            sweeps += 1
+            for mode in range(dense.ndim):
+                projected = multi_ttm(
+                    dense, factors, transpose=True, skip=[mode]
+                )
+                factors[mode] = leading_left_singular_vectors(
+                    unfold(projected, mode), ranks[mode]
+                )
+            core = multi_ttm(dense, factors, transpose=True)
+            # For orthonormal factors ||X - X~||^2 = ||X||^2 - ||G||^2.
+            fit = frobenius_norm(core)
+            if norm > 0 and abs(fit - previous_fit) / norm < tol:
+                previous_fit = fit
+                break
             previous_fit = fit
-            break
-        previous_fit = fit
-    core = multi_ttm(dense, factors, transpose=True)
+        sp.set(sweeps=sweeps)
+        core = multi_ttm(dense, factors, transpose=True)
     return TuckerTensor(core, factors)

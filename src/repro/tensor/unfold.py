@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ModeError, ShapeError
+from ..observability import span as _span
 
 
 def check_mode(ndim: int, mode: int) -> int:
@@ -56,9 +57,10 @@ def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
     if tensor.ndim == 0:
         raise ShapeError("cannot unfold a 0-mode tensor")
     mode = check_mode(tensor.ndim, mode)
-    return np.moveaxis(tensor, mode, 0).reshape(
-        (tensor.shape[mode], -1), order="F"
-    )
+    with _span("unfold", "tensor-op", shape=tensor.shape, mode=mode):
+        return np.moveaxis(tensor, mode, 0).reshape(
+            (tensor.shape[mode], -1), order="F"
+        )
 
 
 def fold(matrix: np.ndarray, mode: int, shape: tuple) -> np.ndarray:
@@ -93,9 +95,10 @@ def fold(matrix: np.ndarray, mode: int, shape: tuple) -> np.ndarray:
     moved_shape = (shape[mode],) + tuple(
         s for i, s in enumerate(shape) if i != mode
     )
-    return np.moveaxis(
-        matrix.reshape(moved_shape, order="F"), 0, mode
-    )
+    with _span("fold", "tensor-op", shape=shape, mode=mode):
+        return np.moveaxis(
+            matrix.reshape(moved_shape, order="F"), 0, mode
+        )
 
 
 def unfold_row_index(multi_index: tuple, shape: tuple, mode: int) -> tuple:

@@ -169,6 +169,74 @@ class TestThreadedEngine:
         )
 
 
+class TestDeterminismWithTracing:
+    """Worker count and tracing must both be invisible in the output:
+    byte-identical results across --workers 1/2/4 with a live tracer."""
+
+    def test_engine_byte_identical_across_workers_with_tracing(self):
+        import pickle
+
+        from repro.observability import Tracer, use_tracer
+
+        records = [(i, f"alpha beta w{i % 5}") for i in range(20)]
+        payloads, tracers = {}, {}
+        for workers in (1, 2, 4):
+            with use_tracer(Tracer()) as tracer:
+                output, _stats = LocalMapReduceEngine(workers).run(
+                    word_count_job(), records
+                )
+            payloads[workers] = pickle.dumps(output)
+            tracers[workers] = tracer
+        assert payloads[1] == payloads[2] == payloads[4]
+        # The traced runs actually recorded map/reduce spans, with the
+        # executing worker attributed on each one.
+        spans = [
+            s
+            for s in tracers[4].iter_spans()
+            if s.category == "mapreduce" and "worker" in s.attrs
+        ]
+        assert spans
+        assert all(s.attrs["worker"] for s in spans)
+
+    def test_dm2td_byte_identical_across_workers_with_tracing(self):
+        import numpy as np
+
+        from repro.distributed import distributed_m2td
+        from repro.observability import Tracer, use_tracer
+        from repro.sampling import PFPartition
+        from repro.tensor import SparseTensor
+
+        part = PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
+        rng = np.random.default_rng(0)
+        x1 = SparseTensor.from_dense(
+            rng.standard_normal(part.sub_shape(1)) + 2, keep_zeros=True
+        )
+        x2 = SparseTensor.from_dense(
+            rng.standard_normal(part.sub_shape(2)) + 2, keep_zeros=True
+        )
+        cores, factor_sets, phase_cats = {}, {}, {}
+        for workers in (1, 2, 4):
+            with use_tracer(Tracer()) as tracer:
+                run = distributed_m2td(
+                    x1, x2, part, [2] * 5,
+                    engine=LocalMapReduceEngine(workers),
+                )
+            cores[workers] = run.result.tucker.core.tobytes()
+            factor_sets[workers] = [
+                f.tobytes() for f in run.result.tucker.factors
+            ]
+            phase_cats[workers] = {
+                s.category for s in tracer.iter_spans()
+            }
+        assert cores[1] == cores[2] == cores[4]
+        assert factor_sets[1] == factor_sets[2] == factor_sets[4]
+        # Per-phase spans were recorded for every worker count.
+        for workers in (1, 2, 4):
+            assert {"decompose", "stitch", "stitch-factor"} <= (
+                phase_cats[workers]
+            )
+
+
 class TestPayloadBytes:
     def test_ndarray(self):
         assert payload_bytes(np.zeros(10)) == 80

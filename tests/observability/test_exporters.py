@@ -1,0 +1,160 @@
+"""Exporters: Chrome-trace JSON validity, flat profile, metrics dump."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    flat_profile,
+    write_chrome_trace,
+    write_flat_profile,
+    write_metrics,
+)
+from repro.observability.exporters import _json_safe
+
+
+def build_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", "decompose", shape=(4, 4, 4)):
+        with tracer.span("inner", "tensor-op", mode=0):
+            pass
+        with tracer.span("inner", "tensor-op", mode=1):
+            pass
+    return tracer
+
+
+class TestJsonSafe:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 1.5, "s"):
+            assert _json_safe(value) == value
+
+    def test_numpy_scalars_become_python(self):
+        assert _json_safe(np.int64(3)) == 3
+        assert _json_safe(np.float64(1.5)) == 1.5
+
+    def test_containers_recurse(self):
+        assert _json_safe((np.int64(1), [np.float32(2.0)])) == [1, [2.0]]
+        assert _json_safe({"k": np.int64(7)}) == {"k": 7}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _json_safe(Opaque()) == "<opaque>"
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(build_trace())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = sorted({e["ph"] for e in events})
+        assert phases == ["M", "X"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        for event in spans:
+            assert event["pid"] == 1
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "cpu_seconds" in event["args"]
+
+    def test_attrs_are_json_serialisable(self):
+        tracer = Tracer()
+        with tracer.span(
+            "svd", "decompose", shape=(np.int64(4), np.int64(5)), nnz=np.int64(9)
+        ):
+            pass
+        text = json.dumps(chrome_trace(tracer))
+        event = next(
+            e for e in json.loads(text)["traceEvents"] if e["ph"] == "X"
+        )
+        assert event["args"]["shape"] == [4, 5]
+        assert event["args"]["nnz"] == 9
+
+    def test_threads_get_named_swimlanes(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("w", "mapreduce"):
+                pass
+
+        thread = threading.Thread(target=work, name="map-worker-1")
+        thread.start()
+        thread.join()
+        with tracer.span("m", "misc"):
+            pass
+        doc = chrome_trace(tracer)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        thread_names = {e["args"]["name"] for e in meta}
+        assert "map-worker-1" in thread_names
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 2
+
+    def test_error_spans_flagged(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("bad", "misc"):
+                raise RuntimeError()
+        except RuntimeError:
+            pass
+        (event,) = [
+            e for e in chrome_trace(tracer)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(build_trace(), str(path))
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+
+class TestFlatProfile:
+    def test_reports_categories_and_counts(self):
+        text = flat_profile(build_trace())
+        assert "3 spans" in text
+        assert "decompose" in text
+        assert "tensor-op" in text
+        assert "inner" in text
+
+    def test_nested_same_category_not_double_counted(self):
+        tracer = Tracer()
+        with tracer.span("hosvd", "decompose") as outer:
+            with tracer.span("svd", "decompose"):
+                pass
+        text = flat_profile(tracer)
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("decompose")
+        )
+        cum = float(line.split()[3])
+        assert cum <= outer.wall_seconds + 1e-9
+
+    def test_top_limits_per_name_rows(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span(f"op-{i}", "tensor-op"):
+                pass
+        limited = flat_profile(tracer, top=2)
+        per_name = [
+            ln for ln in limited.splitlines() if ln.startswith("  op-")
+        ]
+        assert len(per_name) == 2
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "profile.txt"
+        write_flat_profile(build_trace(), str(path))
+        assert "flat profile" in path.read_text()
+
+
+class TestWriteMetrics:
+    def test_explicit_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        path = tmp_path / "metrics.json"
+        write_metrics(str(path), registry)
+        assert json.loads(path.read_text())["c"]["value"] == 5.0

@@ -1,0 +1,203 @@
+"""End-to-end instrumentation: category coverage, wall-time accounting,
+the CLI ``--trace`` flag, the runtime bridge, and the overhead guard."""
+
+import json
+import time
+
+import pytest
+
+from repro.core import EnsembleStudy
+from repro.observability import (
+    NullTracer,
+    Tracer,
+    flat_profile,
+    get_tracer,
+    span,
+    use_tracer,
+)
+from repro.runtime import Runtime, TaskGraph
+from repro.simulation import DoublePendulum
+
+#: the flat profile must split pipeline time across these.
+PIPELINE_CATEGORIES = {
+    "sample",
+    "simulate",
+    "stitch",
+    "decompose",
+    "stitch-factor",
+}
+
+
+@pytest.fixture(scope="module")
+def pipeline_tracer():
+    """One fully traced pipeline run: study construction + M2TD."""
+    with use_tracer(Tracer()) as tracer:
+        study = EnsembleStudy.create(DoublePendulum(), resolution=5)
+        study.run_m2td([2] * study.space.n_modes, variant="select", seed=7)
+    return tracer
+
+
+class TestPipelineCoverage:
+    def test_all_pipeline_categories_present(self, pipeline_tracer):
+        categories = {s.category for s in pipeline_tracer.iter_spans()}
+        assert PIPELINE_CATEGORIES <= categories
+
+    def test_flat_profile_splits_time_across_categories(self, pipeline_tracer):
+        text = flat_profile(pipeline_tracer)
+        for category in PIPELINE_CATEGORIES:
+            assert category in text
+
+    def test_spans_carry_shape_attributes(self, pipeline_tracer):
+        decompose = [
+            s
+            for s in pipeline_tracer.iter_spans()
+            if s.category == "decompose" and "shape" in s.attrs
+        ]
+        assert decompose
+
+    def test_stitch_spans_report_join_nnz(self, pipeline_tracer):
+        joins = [
+            s
+            for s in pipeline_tracer.iter_spans()
+            if s.name == "join-tensor"
+        ]
+        assert joins and all(s.attrs["join_nnz"] > 0 for s in joins)
+
+
+class TestWallTimeAccounting:
+    def test_top_level_spans_cover_ninety_percent(self, pendulum_study):
+        ranks = [2] * pendulum_study.space.n_modes
+        started = time.perf_counter()
+        with use_tracer(Tracer()) as tracer:
+            with span("pipeline", "experiment"):
+                pendulum_study.run_m2td(ranks, variant="select", seed=7)
+        elapsed = time.perf_counter() - started
+        assert tracer.total_wall_seconds() >= 0.9 * elapsed
+
+
+class TestCLITraceFlag:
+    def test_study_cli_emits_valid_chrome_trace(self, tmp_path):
+        from repro.experiments import study_cli
+
+        config = {
+            "system": "double_pendulum",
+            "resolution": 5,
+            "rank": 2,
+            "seed": 7,
+            "schemes": [
+                {"kind": "m2td", "variant": "select"},
+                {"kind": "conventional", "sampler": "Random"},
+            ],
+        }
+        config_path = tmp_path / "study.json"
+        config_path.write_text(json.dumps(config))
+        trace_path = tmp_path / "trace.json"
+        profile_path = tmp_path / "profile.txt"
+        metrics_path = tmp_path / "metrics.json"
+
+        started = time.perf_counter()
+        code = study_cli.main(
+            [
+                str(config_path),
+                "--trace", str(trace_path),
+                "--profile", str(profile_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        elapsed = time.perf_counter() - started
+        assert code == 0
+
+        doc = json.loads(trace_path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events
+        for event in events:
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        # The experiment-level spans must account for >= 90% of the
+        # measured wall time of the whole CLI invocation.
+        experiment_seconds = (
+            sum(e["dur"] for e in events if e["cat"] == "experiment") / 1e6
+        )
+        assert experiment_seconds >= 0.9 * elapsed
+        # Runtime task metrics were bridged into the same trace.
+        assert any(e["cat"] == "runtime-task" for e in events)
+
+        profile = profile_path.read_text()
+        for category in PIPELINE_CATEGORIES:
+            assert category in profile
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["svd.calls"]["value"] > 0
+
+    def test_experiments_cli_trace_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["table2", "--quick", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace_path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "experiment:table2" for e in events)
+        assert PIPELINE_CATEGORIES <= {e["cat"] for e in events}
+
+
+class TestRuntimeBridge:
+    def test_task_metrics_become_runtime_task_spans(self):
+        graph = TaskGraph()
+        graph.add("answer", lambda: 42, affinity="thread")
+        runtime = Runtime(workers=2)
+        try:
+            with use_tracer(Tracer()) as tracer:
+                outcome = runtime.run(graph)
+        finally:
+            runtime.shutdown()
+        assert outcome.results["answer"] == 42
+        bridged = [
+            s for s in tracer.iter_spans() if s.category == "runtime-task"
+        ]
+        assert [s.name for s in bridged] == ["task:answer"]
+        assert bridged[0].attrs["attempts"] == 1
+        assert bridged[0].attrs["executor"]
+
+    def test_disabled_tracer_skips_bridge(self):
+        graph = TaskGraph()
+        graph.add("answer", lambda: 1)
+        runtime = Runtime(workers=1)
+        try:
+            outcome = runtime.run(graph)  # default NullTracer: no crash
+        finally:
+            runtime.shutdown()
+        assert outcome.results["answer"] == 1
+
+
+class TestOverheadGuard:
+    def test_default_is_the_noop_tracer(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer().enabled is False
+
+    def test_disabled_instrumentation_under_five_percent(self, pendulum_study):
+        """Bound the no-op cost: (spans a traced run would record) x
+        (per-call no-op cost) must stay below 5% of the untraced wall
+        time.  Counting spans instead of diffing two wall-clock runs
+        keeps the guard immune to scheduler noise."""
+        ranks = [2] * pendulum_study.space.n_modes
+        pendulum_study.run_m2td(ranks, variant="select", seed=7)  # warm-up
+        started = time.perf_counter()
+        pendulum_study.run_m2td(ranks, variant="select", seed=7)
+        untraced_seconds = time.perf_counter() - started
+
+        with use_tracer(Tracer()) as tracer:
+            pendulum_study.run_m2td(ranks, variant="select", seed=7)
+        n_spans = tracer.n_spans
+        assert n_spans > 0
+
+        calls = 50_000
+        started = time.perf_counter()
+        for _ in range(calls):
+            with span("bench", "misc", shape=(4, 4), mode=0):
+                pass
+        per_call = (time.perf_counter() - started) / calls
+
+        overhead = n_spans * per_call
+        assert overhead < 0.05 * untraced_seconds, (
+            f"{n_spans} spans x {per_call * 1e9:.0f}ns = "
+            f"{overhead * 1e3:.3f}ms >= 5% of {untraced_seconds * 1e3:.1f}ms"
+        )

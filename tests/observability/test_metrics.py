@@ -1,0 +1,136 @@
+"""MetricsRegistry: counters, gauges, histograms, and the JSON dump."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("svd.calls")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_thread_safe_under_contention(self):
+        counter = MetricsRegistry().counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("workers")
+        assert gauge.value is None
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = MetricsRegistry().histogram("rank")
+        for value in (2, 4, 6):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12.0
+        assert hist.min == 2.0
+        assert hist.max == 6.0
+        assert hist.mean == 4.0
+
+    def test_empty_mean_is_none(self):
+        assert MetricsRegistry().histogram("h").mean is None
+
+
+class TestRegistry:
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "b" in registry
+        assert "missing" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(2)
+        registry.histogram("sizes").observe(10)
+        snapshot = registry.as_dict()
+        assert snapshot["calls"] == {"kind": "counter", "value": 2.0}
+        assert snapshot["sizes"]["kind"] == "histogram"
+        assert snapshot["sizes"]["count"] == 1
+
+    def test_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == registry.as_dict()
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.clear()
+        assert registry.names() == []
+
+
+class TestGlobalRegistry:
+    def test_use_metrics_installs_fresh_and_restores(self):
+        before = get_metrics()
+        with use_metrics() as registry:
+            assert get_metrics() is registry
+            assert registry is not before
+            registry.counter("scoped").inc()
+        assert get_metrics() is before
+        assert "scoped" not in get_metrics()
+
+    def test_set_metrics_none_installs_fresh(self):
+        before = get_metrics()
+        try:
+            set_metrics(None)
+            assert get_metrics() is not before
+        finally:
+            set_metrics(before)
+
+    def test_library_populates_global_registry(self, rng):
+        from repro.tensor import truncated_svd
+
+        with use_metrics() as registry:
+            truncated_svd(rng.standard_normal((6, 5)), 2)
+            assert registry.counter("svd.calls").value == 1.0
+            assert registry.histogram("svd.rank").max == 2.0
