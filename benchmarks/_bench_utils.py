@@ -1,17 +1,18 @@
-"""Helpers shared by the benchmark modules (not a test file)."""
+"""Helpers shared by the benchmark modules (not a test file).
+
+The scale constants live in :mod:`repro.bench.workloads` — the single
+source of truth shared with ``python -m repro.bench`` — and are
+re-exported here so the pytest benches and the harness cannot drift.
+"""
 
 from __future__ import annotations
 
+from repro.bench.workloads import (  # noqa: F401  (re-exported)
+    BENCH_RANK,
+    BENCH_RESOLUTION,
+    BENCH_SEED,
+)
 from repro.experiments import format_table
-
-#: Parameter-space resolution every benchmark runs at.
-BENCH_RESOLUTION = 8
-
-#: Per-mode target rank every benchmark runs at.
-BENCH_RANK = 3
-
-#: RNG seed for all benchmark sampling.
-BENCH_SEED = 7
 
 
 def print_report(title, headers, rows):

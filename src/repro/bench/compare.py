@@ -1,0 +1,229 @@
+"""Compare two BENCH artifact sets and gate on regressions.
+
+A workload pair is matched on ``(suite, name, mode)`` — a quick run is
+never compared against a full run.  The verdict compares *best* (min)
+wall times — scheduler noise is one-sided, so the minimum is by far
+the most stable cross-process estimator of achievable time (medians of
+millisecond workloads drift up to ~2x between runs of this harness on
+a loaded host; minima stay within ~25%).  The noise threshold is
+derived from the *recorded* IQRs of both sides::
+
+    rel_noise = max(iqr_base / median_base, iqr_cand / median_cand)
+    threshold = clamp(NOISE_FACTOR * rel_noise, NOISE_FLOOR, NOISE_CAP)
+
+    regressed  if  best_cand > best_base * (1 + threshold)
+    improved   if  best_cand < best_base / (1 + threshold)
+    unchanged  otherwise
+
+The floor keeps millisecond-scale workloads from flapping on scheduler
+jitter; the cap guarantees a genuine 2x slowdown can never hide behind
+a noisy baseline (worst case it must beat ``1 + NOISE_CAP = 1.5x``).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import BenchError
+from .schema import load_document
+
+#: Minimum relative change ever treated as signal.
+NOISE_FLOOR = 0.25
+
+#: IQR multiplier: how many noise-bands of drift count as real.
+NOISE_FACTOR = 3.0
+
+#: Ceiling on the threshold so large regressions always gate.
+NOISE_CAP = 0.5
+
+#: Verdicts that make ``compare`` exit nonzero.
+GATING_VERDICTS = ("regressed",)
+
+WorkloadKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of comparing one workload across two runs."""
+
+    suite: str
+    name: str
+    mode: str
+    verdict: str  # regressed / improved / unchanged / added / removed
+    base_best: Optional[float] = None
+    cand_best: Optional[float] = None
+    base_median: Optional[float] = None
+    cand_median: Optional[float] = None
+    threshold: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Best-time ratio — the quantity the verdict gates on."""
+        if not self.base_best or self.cand_best is None:
+            return None
+        return self.cand_best / self.base_best
+
+
+def _collect(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Load BENCH documents from files and/or directories."""
+    docs: List[Dict[str, Any]] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+            if not found:
+                raise BenchError(f"no BENCH_*.json files under {path!r}")
+            docs.extend(load_document(p) for p in found)
+        else:
+            docs.append(load_document(path))
+    return docs
+
+
+def _workload_map(
+    docs: Iterable[Dict[str, Any]],
+) -> Dict[WorkloadKey, Dict[str, Any]]:
+    mapping: Dict[WorkloadKey, Dict[str, Any]] = {}
+    for doc in docs:
+        for record in doc["workloads"]:
+            key = (record["suite"], record["name"], record["mode"])
+            if key in mapping:
+                raise BenchError(
+                    f"workload {record['name']!r} (mode {record['mode']!r}) "
+                    "appears in more than one document"
+                )
+            mapping[key] = record
+    return mapping
+
+
+def noise_threshold(
+    base: Dict[str, Any],
+    cand: Dict[str, Any],
+    floor: float = NOISE_FLOOR,
+    factor: float = NOISE_FACTOR,
+    cap: float = NOISE_CAP,
+) -> float:
+    """The relative-change threshold for one workload pair."""
+    rel = 0.0
+    for record in (base, cand):
+        stats = record["wall_seconds"]
+        median = stats["median"]
+        if median > 0:
+            rel = max(rel, stats["iqr"] / median)
+    return min(cap, max(floor, factor * rel))
+
+
+def compare_records(
+    base: Dict[str, Any],
+    cand: Dict[str, Any],
+    floor: float = NOISE_FLOOR,
+    factor: float = NOISE_FACTOR,
+    cap: float = NOISE_CAP,
+) -> Verdict:
+    threshold = noise_threshold(base, cand, floor=floor, factor=factor, cap=cap)
+    base_best = base["wall_seconds"]["min"]
+    cand_best = cand["wall_seconds"]["min"]
+    if base_best <= 0:
+        verdict = "unchanged" if cand_best <= 0 else "regressed"
+    elif cand_best > base_best * (1.0 + threshold):
+        verdict = "regressed"
+    elif cand_best < base_best / (1.0 + threshold):
+        verdict = "improved"
+    else:
+        verdict = "unchanged"
+    return Verdict(
+        suite=base["suite"],
+        name=base["name"],
+        mode=base["mode"],
+        verdict=verdict,
+        base_best=base_best,
+        cand_best=cand_best,
+        base_median=base["wall_seconds"]["median"],
+        cand_median=cand["wall_seconds"]["median"],
+        threshold=threshold,
+    )
+
+
+def compare_paths(
+    baseline_paths: Sequence[str],
+    candidate_paths: Sequence[str],
+    floor: float = NOISE_FLOOR,
+    factor: float = NOISE_FACTOR,
+    cap: float = NOISE_CAP,
+) -> List[Verdict]:
+    """Compare two artifact sets; returns one verdict per workload.
+
+    Workloads present only in the candidate are ``added``; only in the
+    baseline, ``removed`` — neither gates.
+    """
+    base_map = _workload_map(_collect(baseline_paths))
+    cand_map = _workload_map(_collect(candidate_paths))
+    verdicts: List[Verdict] = []
+    for key in sorted(set(base_map) | set(cand_map)):
+        suite, name, mode = key
+        base = base_map.get(key)
+        cand = cand_map.get(key)
+        if base is None:
+            verdicts.append(
+                Verdict(
+                    suite=suite,
+                    name=name,
+                    mode=mode,
+                    verdict="added",
+                    cand_median=cand["wall_seconds"]["median"],
+                )
+            )
+        elif cand is None:
+            verdicts.append(
+                Verdict(
+                    suite=suite,
+                    name=name,
+                    mode=mode,
+                    verdict="removed",
+                    base_median=base["wall_seconds"]["median"],
+                )
+            )
+        else:
+            verdicts.append(
+                compare_records(
+                    base, cand, floor=floor, factor=factor, cap=cap
+                )
+            )
+    return verdicts
+
+
+def has_regressions(verdicts: Iterable[Verdict]) -> bool:
+    return any(v.verdict in GATING_VERDICTS for v in verdicts)
+
+
+def format_verdicts(verdicts: Sequence[Verdict]) -> str:
+    """Plain-text comparison table plus a one-line summary."""
+
+    def fmt_ms(value: Optional[float]) -> str:
+        return f"{value * 1e3:10.3f}" if value is not None else " " * 9 + "-"
+
+    lines = [
+        f"{'workload':<24} {'mode':<6} {'base(ms)':>10} {'cand(ms)':>10} "
+        f"{'ratio':>7} {'thresh':>7}  verdict",
+        "-" * 80,
+    ]
+    counts: Dict[str, int] = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        ratio = f"{v.ratio:7.2f}" if v.ratio is not None else "      -"
+        threshold = (
+            f"{v.threshold:6.0%}" if v.threshold is not None else "     -"
+        )
+        marker = {"regressed": "!!", "improved": "++"}.get(v.verdict, "  ")
+        lines.append(
+            f"{v.name:<24} {v.mode:<6} {fmt_ms(v.base_median)} "
+            f"{fmt_ms(v.cand_median)} {ratio} {threshold}  "
+            f"{marker} {v.verdict}"
+        )
+    summary = ", ".join(
+        f"{counts[k]} {k}" for k in sorted(counts, key=lambda k: -counts[k])
+    )
+    lines.append("-" * 80)
+    lines.append(f"{len(verdicts)} workload(s): {summary}")
+    return "\n".join(lines)

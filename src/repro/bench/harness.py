@@ -1,0 +1,265 @@
+"""The benchmark runner: warmup, repeated timed iterations, memory
+profiling, metrics capture, and per-workload Chrome traces.
+
+Timing protocol, per workload:
+
+1. ``build`` the workload (setup excluded from every measurement);
+2. run ``warmup`` untimed iterations (JIT-free Python still benefits:
+   allocator pools, file-system caches, BLAS thread spin-up);
+3. snapshot the (workload-local) metrics registry, then run
+   ``iterations`` timed iterations recording wall
+   (``time.perf_counter``) and CPU (``time.process_time``) seconds;
+   the registry diff afterwards yields exactly the counters the timed
+   window produced — warmup activity cannot cross-contaminate;
+4. one extra iteration under :mod:`tracemalloc` for the peak-memory
+   figure (tracemalloc slows allocation, so it never shares an
+   iteration with timing);
+5. optionally one extra iteration under a fresh
+   :class:`~repro.observability.Tracer`, exported as a Chrome trace.
+
+Medians + IQR rather than means + stddev: scheduler noise is one-sided
+(things only ever get slower), so the median tracks the achievable
+time and the IQR is the natural noise band ``compare`` derives its
+threshold from.
+
+Both clocks are injectable, which is what makes the statistics
+unit-testable with a scripted fake clock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..observability import Tracer, span as _span, use_metrics, use_tracer
+from ..observability.exporters import write_chrome_trace
+from .schema import make_document
+from .workloads import SizeSpec, Workload
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (q in 0-100)."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
+    position = (len(ordered) - 1) * (float(q) / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of one timed sample set (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def median(self) -> float:
+        return percentile(self.samples, 50)
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the harness's noise measure."""
+        return percentile(self.samples, 75) - percentile(self.samples, 25)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "median": self.median,
+            "iqr": self.iqr,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "samples": [float(s) for s in self.samples],
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured for one workload."""
+
+    name: str
+    suite: str
+    mode: str
+    description: str
+    iterations: int
+    warmup: int
+    wall: TimingStats
+    cpu: TimingStats
+    peak_memory_bytes: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def as_record(self) -> Dict[str, Any]:
+        """The workload's BENCH_*.json record."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "mode": self.mode,
+            "description": self.description,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "wall_seconds": self.wall.as_dict(),
+            "cpu_seconds": self.cpu.as_dict(),
+            "peak_memory_bytes": int(self.peak_memory_bytes),
+            "metrics": self.metrics,
+        }
+
+
+def _flatten_metrics(delta: Dict[str, Dict[str, Any]]) -> Dict[str, float]:
+    """Registry diff -> flat {metric: number} for the JSON artifact.
+
+    Counters keep their delta; histograms contribute ``.count`` and
+    ``.sum`` entries; gauges their last value.
+    """
+    flat: Dict[str, float] = {}
+    for name, entry in delta.items():
+        kind = entry.get("kind")
+        if kind == "counter" or kind == "gauge":
+            value = entry.get("value")
+            if value is not None:
+                flat[name] = float(value)
+        elif kind == "histogram":
+            flat[f"{name}.count"] = float(entry.get("count", 0))
+            flat[f"{name}.sum"] = float(entry.get("sum", 0.0))
+    return flat
+
+
+class BenchmarkRunner:
+    """Runs registered workloads and assembles BENCH documents.
+
+    Parameters
+    ----------
+    size:
+        The :class:`SizeSpec` every workload builds against.
+    iterations / warmup:
+        Override the size's defaults (mainly for tests).
+    wall_clock / cpu_clock:
+        Injectable monotonic clocks (seconds).
+    trace_dir:
+        When set, each workload runs once more under a fresh tracer
+        and a ``trace_<workload>.json`` Chrome trace lands here.
+    measure_memory:
+        Disable to skip the tracemalloc pass (tests; peak reported 0).
+    progress:
+        Optional callable receiving one status line per workload.
+    """
+
+    def __init__(
+        self,
+        size: SizeSpec,
+        iterations: Optional[int] = None,
+        warmup: Optional[int] = None,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        cpu_clock: Callable[[], float] = time.process_time,
+        trace_dir: Optional[str] = None,
+        measure_memory: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.size = size
+        self.iterations = int(
+            size.iterations if iterations is None else iterations
+        )
+        self.warmup = int(warmup if warmup is not None else size.warmup)
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.wall_clock = wall_clock
+        self.cpu_clock = cpu_clock
+        self.trace_dir = trace_dir
+        self.measure_memory = measure_memory
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run_workload(self, workload: Workload) -> WorkloadResult:
+        """Measure one workload end to end."""
+        prepared = workload.build(self.size)
+        try:
+            wall_samples: List[float] = []
+            cpu_samples: List[float] = []
+            with use_metrics() as registry:
+                for _ in range(self.warmup):
+                    prepared.run()
+                before = registry.snapshot()
+                for iteration in range(self.iterations):
+                    with _span(
+                        workload.name, "bench", iteration=iteration,
+                        mode=self.size.mode,
+                    ):
+                        wall0 = self.wall_clock()
+                        cpu0 = self.cpu_clock()
+                        prepared.run()
+                        cpu_samples.append(self.cpu_clock() - cpu0)
+                        wall_samples.append(self.wall_clock() - wall0)
+                metrics = _flatten_metrics(registry.diff(before))
+
+            peak = 0
+            if self.measure_memory:
+                tracemalloc.start()
+                try:
+                    prepared.run()
+                    _current, peak = tracemalloc.get_traced_memory()
+                finally:
+                    tracemalloc.stop()
+
+            if self.trace_dir is not None:
+                self._emit_trace(workload, prepared)
+        finally:
+            prepared.close()
+
+        result = WorkloadResult(
+            name=workload.name,
+            suite=workload.suite,
+            mode=self.size.mode,
+            description=workload.description,
+            iterations=self.iterations,
+            warmup=self.warmup,
+            wall=TimingStats(wall_samples),
+            cpu=TimingStats(cpu_samples),
+            peak_memory_bytes=int(peak),
+            metrics=metrics,
+        )
+        if self.progress is not None:
+            self.progress(
+                f"{workload.name:<22} median {result.wall.median * 1e3:9.3f}ms "
+                f"iqr {result.wall.iqr * 1e3:8.3f}ms "
+                f"peak {peak / 1e6:8.2f}MB"
+            )
+        return result
+
+    def _emit_trace(self, workload: Workload, prepared) -> None:
+        import os
+
+        os.makedirs(self.trace_dir, exist_ok=True)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span(workload.name, "bench", mode=self.size.mode):
+                prepared.run()
+        filename = f"trace_{workload.name.replace('.', '_')}.json"
+        write_chrome_trace(tracer, os.path.join(self.trace_dir, filename))
+
+    # ------------------------------------------------------------------
+    def run_suite(
+        self, suite: str, workloads: Sequence[Workload]
+    ) -> Dict[str, Any]:
+        """Measure a suite's workloads into one BENCH document."""
+        records = []
+        for workload in workloads:
+            if workload.suite != suite:
+                continue
+            records.append(self.run_workload(workload).as_record())
+        return make_document(suite, self.size.mode, records)

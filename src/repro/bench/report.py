@@ -1,0 +1,51 @@
+"""Text rendering of BENCH documents (the ``report`` subcommand)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def _key_metrics(metrics: Dict[str, float], top: int = 3) -> str:
+    """The most informative counters for the table's last column."""
+    ordered = sorted(metrics.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+    parts = [
+        f"{name}={value:g}"
+        for name, value in ordered[:top]
+        if not name.endswith(".sum")
+    ]
+    return " ".join(parts)
+
+
+def format_document(doc: Dict[str, Any]) -> str:
+    """One suite document as a readable table."""
+    env = doc["environment"]
+    sha = env.get("git_sha") or "no-git"
+    lines = [
+        f"== suite {doc['suite']} ({doc['mode']}) — "
+        f"py{env['python']} numpy{env['numpy']} "
+        f"{env['cpu_count']} cpus @ {sha[:12]} ==",
+        f"{'workload':<24} {'median(ms)':>11} {'iqr(ms)':>9} "
+        f"{'cpu(ms)':>9} {'peak(MB)':>9}  key metrics",
+        "-" * 96,
+    ]
+    for record in doc["workloads"]:
+        wall = record["wall_seconds"]
+        cpu = record["cpu_seconds"]
+        lines.append(
+            f"{record['name']:<24} {wall['median'] * 1e3:>11.3f} "
+            f"{wall['iqr'] * 1e3:>9.3f} {cpu['median'] * 1e3:>9.3f} "
+            f"{record['peak_memory_bytes'] / 1e6:>9.2f}  "
+            f"{_key_metrics(record['metrics'])}"
+        )
+    return "\n".join(lines)
+
+
+def format_documents(docs: Iterable[Dict[str, Any]]) -> str:
+    blocks: List[str] = [format_document(doc) for doc in docs]
+    return "\n\n".join(blocks)
+
+
+def summarize_run(docs: Sequence[Dict[str, Any]]) -> str:
+    n_workloads = sum(len(d["workloads"]) for d in docs)
+    suites = ", ".join(d["suite"] for d in docs)
+    return f"measured {n_workloads} workload(s) across suites: {suites}"

@@ -105,3 +105,8 @@ class CacheError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment runner was given an invalid configuration."""
+
+
+class BenchError(ReproError, RuntimeError):
+    """The benchmark harness hit an invalid workload, document, or
+    comparison (unknown suite, malformed BENCH_*.json, schema drift)."""

@@ -24,8 +24,10 @@ decompose       SVDs, HOSVD/HOOI sweeps, M2TD core recovery
 stitch-factor   combining pivot factor matrices (AVG/CONCAT/SELECT)
 tensor-op       low-level unfold/fold/TTM/matricize primitives
 mapreduce       map/reduce tasks of the local engine
+storage         block-store put/get/slice I/O
 experiment      one CLI experiment run end to end
 runtime-task    task-graph metrics bridged from ``RuntimeReport``
+bench           one harness workload iteration (``repro.bench``)
 ==============  ======================================================
 
 This package imports nothing from the rest of ``repro`` so that every
@@ -45,6 +47,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    diff_snapshots,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -75,6 +78,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "diff_snapshots",
     "get_metrics",
     "set_metrics",
     "use_metrics",

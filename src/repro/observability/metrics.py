@@ -10,15 +10,17 @@ only controls whether the dump is written.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "diff_snapshots",
     "get_metrics",
     "set_metrics",
     "use_metrics",
@@ -66,12 +68,18 @@ class Gauge:
 class Histogram:
     """Summary statistics of an observed distribution.
 
-    Keeps count/sum/min/max (and derives the mean) — enough for the
-    profiles this library reports without committing to a bucket
-    layout.
+    Keeps count/sum/min/max (and derives the mean), plus a bounded
+    sample buffer from which p50/p90/p99 are computed.  When more than
+    ``max_samples`` values arrive the buffer is decimated (every second
+    retained sample is dropped), so the percentiles degrade gracefully
+    to an even subsample of the stream instead of growing without
+    bound — deterministic, unlike a random reservoir.
     """
 
     kind = "histogram"
+
+    #: Retained-sample ceiling before deterministic decimation kicks in.
+    max_samples = 8192
 
     def __init__(self, name: str):
         self.name = name
@@ -79,6 +87,9 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
+        self._since_kept = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -88,10 +99,30 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self._since_kept += 1
+            if self._since_kept >= self._stride:
+                self._since_kept = 0
+                self._samples.append(value)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0-100) of the retained samples, with
+        linear interpolation; ``None`` while empty."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        position = (len(samples) - 1) * (float(q) / 100.0)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        weight = position - lower
+        return samples[lower] * (1.0 - weight) + samples[upper] * weight
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -101,6 +132,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
         }
 
 
@@ -149,6 +183,25 @@ class MetricsRegistry:
             items = sorted(self._metrics.items())
         return {name: metric.as_dict() for name, metric in items}
 
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A frozen copy of the current state, for later :meth:`diff`.
+
+        Identical in shape to :meth:`as_dict`; the separate name marks
+        intent — snapshots are taken *before* a measured region so the
+        region's own activity can be isolated afterwards.
+        """
+        return self.as_dict()
+
+    def diff(self, before: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+        """What changed since ``before`` (a :meth:`snapshot`).
+
+        See :func:`diff_snapshots` for the delta semantics.  This is
+        the benchmark-harness idiom: snapshot, run N iterations, diff —
+        counters accumulated by earlier iterations (or warmup) never
+        cross-contaminate the reported window.
+        """
+        return diff_snapshots(before, self.snapshot())
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
@@ -159,6 +212,51 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._metrics = {}
+
+
+def diff_snapshots(
+    before: Dict[str, Dict[str, Any]], after: Dict[str, Dict[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Delta between two registry snapshots (``snapshot()`` outputs).
+
+    * counters: ``value`` is the increase over the window; unchanged
+      counters are omitted;
+    * gauges: included with their ``after`` value when it changed;
+    * histograms: ``count``/``sum`` are window deltas (with the derived
+      window ``mean``); unchanged histograms are omitted.
+
+    Metrics absent from ``before`` diff against a zero baseline, so a
+    metric born inside the window reports its full value.
+    """
+    delta: Dict[str, Dict[str, Any]] = {}
+    for name, state in after.items():
+        prior = before.get(name)
+        kind = state.get("kind")
+        if kind == "counter":
+            base = prior.get("value", 0.0) if prior else 0.0
+            change = state.get("value", 0.0) - base
+            if change:
+                delta[name] = {"kind": "counter", "value": change}
+        elif kind == "gauge":
+            base = prior.get("value") if prior else None
+            if state.get("value") != base:
+                delta[name] = {"kind": "gauge", "value": state.get("value")}
+        elif kind == "histogram":
+            base_count = prior.get("count", 0) if prior else 0
+            base_sum = prior.get("sum", 0.0) if prior else 0.0
+            d_count = state.get("count", 0) - base_count
+            d_sum = state.get("sum", 0.0) - base_sum
+            if d_count:
+                delta[name] = {
+                    "kind": "histogram",
+                    "count": d_count,
+                    "sum": d_sum,
+                    "mean": d_sum / d_count,
+                }
+        else:  # pragma: no cover - future metric kinds pass through
+            if state != prior:
+                delta[name] = dict(state)
+    return delta
 
 
 _registry = MetricsRegistry()

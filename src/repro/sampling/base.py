@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..exceptions import BudgetError, SamplingError
+from ..observability import get_metrics, span as _span
 
 
 @dataclass(frozen=True)
@@ -84,12 +85,31 @@ class Sampler(ABC):
     #: Short name used in experiment reports ("Random", "Grid", ...).
     name: str = "abstract"
 
-    @abstractmethod
     def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
         """Select *at most* ``budget`` cells of a tensor of ``shape``.
 
-        Implementations may return slightly fewer cells when the
-        scheme's structure cannot hit the budget exactly (e.g. a grid
-        whose stride does not divide the mode size); they must never
-        return more.
+        Instrumented template method: opens a ``sample`` span and
+        records per-sampler cell counts, then delegates the actual
+        selection to :meth:`_sample`.
+        """
+        with _span(
+            f"sample-{self.name.lower()}", "sample",
+            sampler=self.name, budget=int(budget),
+        ) as sp:
+            sample = self._sample(shape, budget)
+            sp.set(cells=sample.n_cells, density=sample.density)
+            metrics = get_metrics()
+            metrics.counter(f"sample.{self.name}.cells").inc(sample.n_cells)
+            metrics.counter("sample.cells").inc(sample.n_cells)
+            metrics.histogram("sample.density").observe(sample.density)
+            return sample
+
+    @abstractmethod
+    def _sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+        """Select the cells (subclass hook behind :meth:`sample`).
+
+        Implementations may return slightly fewer cells than the
+        budget when the scheme's structure cannot hit it exactly (e.g.
+        a grid whose stride does not divide the mode size); they must
+        never return more.
         """

@@ -57,7 +57,7 @@ class GridSampler(Sampler):
 
     name = "Grid"
 
-    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+    def _sample(self, shape: Sequence[int], budget: int) -> SampleSet:
         shape = tuple(int(s) for s in shape)
         budget = validate_budget(budget, shape)
         counts = balanced_grid_counts(shape, budget)

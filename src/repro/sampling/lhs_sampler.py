@@ -53,7 +53,7 @@ class LatinHypercubeSampler(Sampler):
         self._rng = make_rng(seed)
         self._max_rounds = int(max_rounds)
 
-    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+    def _sample(self, shape: Sequence[int], budget: int) -> SampleSet:
         shape = tuple(int(s) for s in shape)
         budget = validate_budget(budget, shape)
         collected = np.empty((0, len(shape)), dtype=np.int64)

@@ -24,7 +24,7 @@ class RandomSampler(Sampler):
     def __init__(self, seed: SeedLike = None):
         self._rng = make_rng(seed)
 
-    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+    def _sample(self, shape: Sequence[int], budget: int) -> SampleSet:
         shape = tuple(int(s) for s in shape)
         budget = validate_budget(budget, shape)
         size = int(np.prod(shape))

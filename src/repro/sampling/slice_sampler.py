@@ -46,7 +46,7 @@ class SliceSampler(Sampler):
     def __init__(self, seed: SeedLike = None):
         self._rng = make_rng(seed)
 
-    def sample(self, shape: Sequence[int], budget: int) -> SampleSet:
+    def _sample(self, shape: Sequence[int], budget: int) -> SampleSet:
         shape = tuple(int(s) for s in shape)
         budget = validate_budget(budget, shape)
         free_modes = choose_free_modes(shape, budget)

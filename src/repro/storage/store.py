@@ -17,6 +17,7 @@ from typing import Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from ..exceptions import StorageError
+from ..observability import get_metrics, span as _span
 from ..tensor.sparse import SparseTensor
 from .blocks import BlockedLayout, BlockId, assemble_from_blocks, split_into_blocks
 from .catalog import Catalog, TensorEntry
@@ -74,28 +75,42 @@ class BlockTensorStore:
         if block_shape is None:
             block_shape = tuple(max(1, -(-s // 4)) for s in tensor.shape)
         layout = BlockedLayout(tensor.shape, block_shape)
-        blocks = split_into_blocks(tensor, layout)
-        tensor_dir = self._tensor_dir(name)
-        if tensor_dir.exists():
-            for stale in tensor_dir.glob("block_*.npz"):
-                stale.unlink()
-        tensor_dir.mkdir(parents=True, exist_ok=True)
-        for block_id, block in blocks.items():
-            np.savez_compressed(
-                self._block_path(name, block_id),
-                coords=block.coords,
-                values=block.values,
-                shape=np.asarray(block.shape, dtype=np.int64),
-            )
-        entry = TensorEntry(
-            name=name,
+        with _span(
+            "store-put", "storage", tensor=name, nnz=tensor.nnz,
             shape=tensor.shape,
-            block_shape=layout.block_shape,
-            nnz=tensor.nnz,
-            n_blocks=len(blocks),
-            block_ids=sorted(blocks),
-        )
-        self.catalog.put(entry)
+        ) as sp:
+            blocks = split_into_blocks(tensor, layout)
+            tensor_dir = self._tensor_dir(name)
+            if tensor_dir.exists():
+                for stale in tensor_dir.glob("block_*.npz"):
+                    stale.unlink()
+            tensor_dir.mkdir(parents=True, exist_ok=True)
+            metrics = get_metrics()
+            bytes_written = 0
+            for block_id, block in blocks.items():
+                path = self._block_path(name, block_id)
+                np.savez_compressed(
+                    path,
+                    coords=block.coords,
+                    values=block.values,
+                    shape=np.asarray(block.shape, dtype=np.int64),
+                )
+                block_bytes = path.stat().st_size
+                bytes_written += block_bytes
+                metrics.histogram("storage.block_bytes").observe(block_bytes)
+            entry = TensorEntry(
+                name=name,
+                shape=tensor.shape,
+                block_shape=layout.block_shape,
+                nnz=tensor.nnz,
+                n_blocks=len(blocks),
+                block_ids=sorted(blocks),
+            )
+            self.catalog.put(entry)
+            sp.set(n_blocks=len(blocks), bytes_written=bytes_written)
+            metrics.counter("storage.puts").inc()
+            metrics.counter("storage.blocks_written").inc(len(blocks))
+            metrics.counter("storage.bytes_serialized").inc(bytes_written)
         return entry
 
     # ------------------------------------------------------------------
@@ -118,8 +133,11 @@ class BlockTensorStore:
                 f"block id {block_id} outside grid {grid} of {name!r}"
             )
         path = self._block_path(name, block_id)
+        metrics = get_metrics()
+        metrics.counter("storage.block_reads").inc()
         if not path.exists():
             return SparseTensor(layout.block_extent(block_id))
+        metrics.counter("storage.bytes_deserialized").inc(path.stat().st_size)
         with np.load(path) as data:
             return SparseTensor(
                 tuple(int(s) for s in data["shape"]),
@@ -134,33 +152,46 @@ class BlockTensorStore:
 
     def get(self, name: str) -> SparseTensor:
         """Load and reassemble the full tensor."""
-        layout = self.layout(name)
-        blocks: Dict[BlockId, SparseTensor] = dict(self.iter_blocks(name))
-        return assemble_from_blocks(layout, blocks)
+        with _span("store-get", "storage", tensor=name) as sp:
+            layout = self.layout(name)
+            blocks: Dict[BlockId, SparseTensor] = dict(self.iter_blocks(name))
+            tensor = assemble_from_blocks(layout, blocks)
+            sp.set(n_blocks=len(blocks), nnz=tensor.nnz)
+            get_metrics().counter("storage.gets").inc()
+            return tensor
 
     def slice_query(self, name: str, mode: int, index: int) -> SparseTensor:
         """Cells on the hyperplane ``mode = index``, reading only the
         blocks that intersect it — the blocked layout's payoff."""
-        layout = self.layout(name)
-        entry = self.catalog.get(name)
-        stored = set(entry.block_ids)
-        coords_parts, values_parts = [], []
-        for block_id in layout.blocks_touching_slice(mode, index):
-            if block_id not in stored:
-                continue
-            block = self.get_block(name, block_id)
-            origin = layout.block_origin(block_id)
-            local_index = index - origin[mode]
-            mask = block.coords[:, mode] == local_index
-            if mask.any():
-                coords_parts.append(block.coords[mask] + origin[None, :])
-                values_parts.append(block.values[mask])
-        result_shape = self.catalog.get(name).shape
-        if not coords_parts:
-            return SparseTensor(result_shape)
-        return SparseTensor(
-            result_shape, np.vstack(coords_parts), np.concatenate(values_parts)
-        )
+        with _span(
+            "store-slice-query", "storage", tensor=name, mode=mode, index=index,
+        ) as sp:
+            layout = self.layout(name)
+            entry = self.catalog.get(name)
+            stored = set(entry.block_ids)
+            coords_parts, values_parts = [], []
+            blocks_read = 0
+            for block_id in layout.blocks_touching_slice(mode, index):
+                if block_id not in stored:
+                    continue
+                block = self.get_block(name, block_id)
+                blocks_read += 1
+                origin = layout.block_origin(block_id)
+                local_index = index - origin[mode]
+                mask = block.coords[:, mode] == local_index
+                if mask.any():
+                    coords_parts.append(block.coords[mask] + origin[None, :])
+                    values_parts.append(block.values[mask])
+            sp.set(blocks_read=blocks_read)
+            get_metrics().counter("storage.slice_queries").inc()
+            result_shape = self.catalog.get(name).shape
+            if not coords_parts:
+                return SparseTensor(result_shape)
+            return SparseTensor(
+                result_shape,
+                np.vstack(coords_parts),
+                np.concatenate(values_parts),
+            )
 
     # ------------------------------------------------------------------
     # manage

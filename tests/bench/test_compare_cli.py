@@ -1,0 +1,227 @@
+"""Regression gating: verdict math plus the compare CLI exit codes.
+
+The golden case: a synthetic 2x slowdown injected into a real artifact
+must make ``python -m repro.bench compare`` exit nonzero, while
+comparing a document against itself must exit 0.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.compare import (
+    NOISE_CAP,
+    compare_paths,
+    compare_records,
+    has_regressions,
+    noise_threshold,
+)
+from repro.bench.schema import make_document, write_document
+from repro.exceptions import BenchError
+
+
+def _stats(samples):
+    ordered = sorted(samples)
+    n = len(ordered)
+    return {
+        "median": ordered[n // 2],
+        "iqr": ordered[3 * n // 4] - ordered[n // 4],
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+        "samples": list(samples),
+    }
+
+
+def _record(name, median_ms=10.0, jitter_ms=0.5):
+    base = median_ms / 1e3
+    jitter = jitter_ms / 1e3
+    samples = [base - jitter, base, base + jitter, base, base + 2 * jitter]
+    return {
+        "name": name,
+        "suite": "m2td",
+        "mode": "quick",
+        "description": "synthetic",
+        "iterations": len(samples),
+        "warmup": 1,
+        "wall_seconds": _stats(samples),
+        "cpu_seconds": _stats(samples),
+        "peak_memory_bytes": 1000,
+        "metrics": {},
+    }
+
+
+def _slowed(doc, factor):
+    slow = copy.deepcopy(doc)
+    for record in slow["workloads"]:
+        for key in ("wall_seconds", "cpu_seconds"):
+            stats = record[key]
+            for stat in ("median", "iqr", "min", "max", "mean"):
+                stats[stat] *= factor
+            stats["samples"] = [s * factor for s in stats["samples"]]
+    return slow
+
+
+@pytest.fixture()
+def baseline_doc():
+    return make_document(
+        "m2td", "quick", [_record("m2td.select"), _record("stitch.join")]
+    )
+
+
+class TestVerdictMath:
+    def test_identical_records_unchanged(self, baseline_doc):
+        record = baseline_doc["workloads"][0]
+        verdict = compare_records(record, record)
+        assert verdict.verdict == "unchanged"
+        assert verdict.ratio == pytest.approx(1.0)
+
+    def test_two_x_slowdown_regresses(self, baseline_doc):
+        record = baseline_doc["workloads"][0]
+        slow = _slowed(baseline_doc, 2.0)["workloads"][0]
+        verdict = compare_records(record, slow)
+        assert verdict.verdict == "regressed"
+        assert verdict.ratio == pytest.approx(2.0)
+
+    def test_two_x_speedup_improves(self, baseline_doc):
+        record = baseline_doc["workloads"][0]
+        fast = _slowed(baseline_doc, 0.5)["workloads"][0]
+        assert compare_records(record, fast).verdict == "improved"
+
+    def test_within_noise_band_unchanged(self, baseline_doc):
+        record = baseline_doc["workloads"][0]
+        slightly = _slowed(baseline_doc, 1.1)["workloads"][0]
+        assert compare_records(record, slightly).verdict == "unchanged"
+
+    def test_threshold_capped_so_2x_always_gates(self, baseline_doc):
+        noisy = copy.deepcopy(baseline_doc["workloads"][0])
+        noisy["wall_seconds"]["iqr"] = noisy["wall_seconds"]["median"]
+        threshold = noise_threshold(noisy, noisy)
+        assert threshold == NOISE_CAP
+        assert 1.0 + threshold < 2.0
+
+    def test_verdict_gates_on_min_not_median(self, baseline_doc):
+        # median doubles but the best time holds: noisy run, not a
+        # regression
+        record = baseline_doc["workloads"][0]
+        noisy = copy.deepcopy(record)
+        noisy["wall_seconds"]["median"] *= 2.0
+        assert compare_records(record, noisy).verdict == "unchanged"
+
+
+class TestComparePaths:
+    def test_added_and_removed_do_not_gate(self, tmp_path, baseline_doc):
+        cand = make_document("m2td", "quick", [
+            baseline_doc["workloads"][0], _record("m2td.new"),
+        ])
+        base_path = tmp_path / "BENCH_base.json"
+        cand_path = tmp_path / "BENCH_cand.json"
+        write_document(baseline_doc, str(base_path))
+        write_document(cand, str(cand_path))
+        verdicts = compare_paths([str(base_path)], [str(cand_path)])
+        by_name = {v.name: v.verdict for v in verdicts}
+        assert by_name["m2td.new"] == "added"
+        assert by_name["stitch.join"] == "removed"
+        assert not has_regressions(verdicts)
+
+    def test_directory_without_artifacts_errors(self, tmp_path):
+        with pytest.raises(BenchError, match="no BENCH"):
+            compare_paths([str(tmp_path)], [str(tmp_path)])
+
+
+class TestCompareCLI:
+    """End-to-end exit codes through ``python -m repro.bench``'s main."""
+
+    @pytest.fixture()
+    def artifact_dirs(self, tmp_path, baseline_doc):
+        base_dir = tmp_path / "base"
+        cand_dir = tmp_path / "cand"
+        base_dir.mkdir()
+        cand_dir.mkdir()
+        write_document(baseline_doc, str(base_dir / "BENCH_m2td.json"))
+        return base_dir, cand_dir
+
+    def test_identical_artifacts_exit_zero(
+        self, artifact_dirs, baseline_doc, capsys
+    ):
+        base_dir, cand_dir = artifact_dirs
+        write_document(baseline_doc, str(cand_dir / "BENCH_m2td.json"))
+        code = main(["compare", str(base_dir), str(cand_dir)])
+        assert code == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_synthetic_2x_slowdown_exits_nonzero(
+        self, artifact_dirs, baseline_doc, capsys
+    ):
+        base_dir, cand_dir = artifact_dirs
+        write_document(
+            _slowed(baseline_doc, 2.0), str(cand_dir / "BENCH_m2td.json")
+        )
+        code = main(["compare", str(base_dir), str(cand_dir)])
+        assert code != 0
+        out = capsys.readouterr()
+        assert "regressed" in out.out
+        assert "FAIL" in out.err
+
+    def test_warn_only_downgrades_to_exit_zero(
+        self, artifact_dirs, baseline_doc, capsys
+    ):
+        base_dir, cand_dir = artifact_dirs
+        write_document(
+            _slowed(baseline_doc, 2.0), str(cand_dir / "BENCH_m2td.json")
+        )
+        code = main(
+            ["compare", str(base_dir), str(cand_dir), "--warn-only"]
+        )
+        assert code == 0
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_two(self, tmp_path, capsys):
+        code = main(["compare", str(tmp_path), str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_renders_table(self, artifact_dirs, baseline_doc, capsys):
+        base_dir, _cand_dir = artifact_dirs
+        code = main(["report", str(base_dir / "BENCH_m2td.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "m2td.select" in out
+        assert "suite m2td" in out
+
+    def test_quick_flag_threads_through_subprocess(self, tmp_path):
+        # the cheapest true end-to-end check: the module entry point
+        # parses and fails cleanly on an unknown suite
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "run", "--quick",
+             "--suite", "does-not-exist",
+             "--output-dir", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "unknown suite" in proc.stderr
+
+
+class TestGoldenArtifactJSON:
+    def test_slowdown_detected_from_disk_round_trip(
+        self, tmp_path, baseline_doc
+    ):
+        """Golden flow: write artifact, mutate the JSON on disk by 2x,
+        compare the files — must regress."""
+        base_path = tmp_path / "BENCH_m2td.json"
+        write_document(baseline_doc, str(base_path))
+        raw = json.loads(base_path.read_text())
+        slow = _slowed(raw, 2.0)
+        cand_path = tmp_path / "BENCH_m2td_cand.json"
+        cand_path.write_text(json.dumps(slow))
+        verdicts = compare_paths([str(base_path)], [str(cand_path)])
+        assert has_regressions(verdicts)
+        assert all(v.verdict == "regressed" for v in verdicts)

@@ -1,0 +1,201 @@
+"""Timing statistics and the runner, driven by a scripted fake clock.
+
+The clocks are injected so every timing figure in these tests is exact
+— no sleeps, no tolerance bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkRunner,
+    TimingStats,
+    WorkloadResult,
+    _flatten_metrics,
+    percentile,
+)
+from repro.bench.workloads import PreparedWorkload, SizeSpec, Workload
+
+
+class FakeClock:
+    """A clock that advances by a scripted delta on each reading pair.
+
+    ``deltas[i]`` is the elapsed time the i-th start/stop pair should
+    observe; reads beyond the script keep returning the last time.
+    """
+
+    def __init__(self, deltas):
+        self._readings = []
+        t = 0.0
+        for delta in deltas:
+            self._readings.append(t)
+            self._readings.append(t + delta)
+            t += delta + 1.0  # dead time between iterations is invisible
+        self._i = 0
+
+    def __call__(self) -> float:
+        if self._i < len(self._readings):
+            value = self._readings[self._i]
+            self._i += 1
+            return value
+        return self._readings[-1]
+
+
+def _tiny_size(iterations: int, warmup: int = 0) -> SizeSpec:
+    return SizeSpec(
+        mode="quick", resolution=3, rank=1, seed=0,
+        iterations=iterations, warmup=warmup,
+    )
+
+
+def _noop_workload(counter=None) -> Workload:
+    def build(size):
+        def run():
+            if counter is not None:
+                counter.append(size.mode)
+
+        return PreparedWorkload(run)
+
+    return Workload(
+        name="noop.case", suite="noop", description="does nothing",
+        build=build,
+    )
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestTimingStats:
+    def test_median_and_iqr(self):
+        # quartiles of 1..5 by linear interpolation: q1=2, q3=4
+        stats = TimingStats([5.0, 1.0, 4.0, 2.0, 3.0])
+        assert stats.median == 3.0
+        assert stats.iqr == 2.0
+        assert stats.min == 1.0
+        assert stats.max == 5.0
+        assert stats.mean == 3.0
+
+    def test_iqr_zero_for_constant_samples(self):
+        stats = TimingStats([2.0, 2.0, 2.0])
+        assert stats.iqr == 0.0
+
+    def test_as_dict_round_trips_samples(self):
+        stats = TimingStats([0.25, 0.75])
+        d = stats.as_dict()
+        assert d["samples"] == [0.25, 0.75]
+        assert d["median"] == 0.5
+        assert set(d) == {"median", "iqr", "min", "max", "mean", "samples"}
+
+
+class TestRunnerWithFakeClock:
+    def test_scripted_deltas_become_samples(self):
+        wall = FakeClock([0.010, 0.030, 0.020])
+        cpu = FakeClock([0.001, 0.003, 0.002])
+        runner = BenchmarkRunner(
+            _tiny_size(iterations=3),
+            wall_clock=wall,
+            cpu_clock=cpu,
+            measure_memory=False,
+        )
+        result = runner.run_workload(_noop_workload())
+        assert result.wall.samples == pytest.approx([0.010, 0.030, 0.020])
+        assert result.wall.median == pytest.approx(0.020)
+        assert result.cpu.samples == pytest.approx([0.001, 0.003, 0.002])
+        assert result.peak_memory_bytes == 0
+
+    def test_warmup_iterations_are_untimed(self):
+        calls = []
+        runner = BenchmarkRunner(
+            _tiny_size(iterations=2, warmup=3),
+            wall_clock=FakeClock([0.1, 0.1]),
+            cpu_clock=FakeClock([0.1, 0.1]),
+            measure_memory=False,
+        )
+        result = runner.run_workload(_noop_workload(calls))
+        # 3 warmup + 2 timed, no tracemalloc pass
+        assert len(calls) == 5
+        assert len(result.wall.samples) == 2
+
+    def test_close_called_even_when_run_raises(self):
+        closed = []
+
+        def build(size):
+            def run():
+                raise RuntimeError("boom")
+
+            return PreparedWorkload(run, close=lambda: closed.append(True))
+
+        bad = Workload(
+            name="bad.case", suite="noop", description="raises", build=build
+        )
+        runner = BenchmarkRunner(_tiny_size(iterations=1),
+                                 measure_memory=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run_workload(bad)
+        assert closed == [True]
+
+    def test_iterations_override_and_validation(self):
+        runner = BenchmarkRunner(_tiny_size(iterations=5), iterations=2,
+                                 measure_memory=False)
+        assert runner.iterations == 2
+        with pytest.raises(ValueError):
+            BenchmarkRunner(_tiny_size(iterations=5), iterations=0)
+
+    def test_memory_pass_reports_peak(self):
+        def build(size):
+            return PreparedWorkload(lambda: bytearray(256 * 1024))
+
+        alloc = Workload(
+            name="alloc.case", suite="noop", description="allocates",
+            build=build,
+        )
+        runner = BenchmarkRunner(_tiny_size(iterations=1),
+                                 measure_memory=True)
+        result = runner.run_workload(alloc)
+        assert result.peak_memory_bytes >= 256 * 1024
+
+
+class TestFlattenMetrics:
+    def test_counters_gauges_histograms(self):
+        delta = {
+            "a.counter": {"kind": "counter", "value": 3},
+            "a.gauge": {"kind": "gauge", "value": 1.5},
+            "a.hist": {"kind": "histogram", "count": 4, "sum": 10.0,
+                       "mean": 2.5},
+        }
+        flat = _flatten_metrics(delta)
+        assert flat == {
+            "a.counter": 3.0,
+            "a.gauge": 1.5,
+            "a.hist.count": 4.0,
+            "a.hist.sum": 10.0,
+        }
+
+
+class TestWorkloadResultRecord:
+    def test_record_shape(self):
+        result = WorkloadResult(
+            name="x", suite="s", mode="quick", description="d",
+            iterations=2, warmup=1,
+            wall=TimingStats([0.1, 0.2]), cpu=TimingStats([0.01, 0.02]),
+            peak_memory_bytes=128, metrics={"m": 1.0},
+        )
+        record = result.as_record()
+        assert record["wall_seconds"]["samples"] == [0.1, 0.2]
+        assert record["peak_memory_bytes"] == 128
+        assert record["metrics"] == {"m": 1.0}

@@ -1,0 +1,138 @@
+"""BENCH_*.json schema: fingerprint, round-trip, validation errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA,
+    bench_filename,
+    environment_fingerprint,
+    load_document,
+    make_document,
+    validate_document,
+    write_document,
+)
+from repro.exceptions import BenchError
+
+
+def _stats(samples):
+    ordered = sorted(samples)
+    return {
+        "median": ordered[len(ordered) // 2],
+        "iqr": ordered[-1] - ordered[0],
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+        "samples": list(samples),
+    }
+
+
+def _record(name="m2td.select", suite="m2td", mode="quick"):
+    return {
+        "name": name,
+        "suite": suite,
+        "mode": mode,
+        "description": "a workload",
+        "iterations": 3,
+        "warmup": 1,
+        "wall_seconds": _stats([0.01, 0.02, 0.03]),
+        "cpu_seconds": _stats([0.001, 0.002, 0.003]),
+        "peak_memory_bytes": 4096,
+        "metrics": {"svd.calls": 3.0},
+    }
+
+
+class TestFingerprint:
+    def test_required_keys_present_and_truthy(self):
+        env = environment_fingerprint()
+        for key in ("python", "numpy", "platform", "machine", "cpu_count",
+                    "implementation"):
+            assert env[key], key
+
+    def test_git_sha_in_this_checkout(self):
+        env = environment_fingerprint()
+        assert env["git_sha"] is None or len(env["git_sha"]) == 40
+
+
+class TestDocumentRoundTrip:
+    def test_make_write_load(self, tmp_path):
+        doc = make_document("m2td", "quick", [_record()])
+        path = tmp_path / bench_filename("m2td")
+        write_document(doc, str(path))
+        loaded = load_document(str(path))
+        assert loaded == json.loads(json.dumps(doc))
+        assert loaded["schema"] == SCHEMA
+        assert loaded["workloads"][0]["wall_seconds"]["median"] == 0.02
+
+    def test_workloads_sorted_by_name(self):
+        doc = make_document(
+            "m2td", "quick",
+            [_record(name="m2td.b"), _record(name="m2td.a")],
+        )
+        names = [w["name"] for w in doc["workloads"]]
+        assert names == ["m2td.a", "m2td.b"]
+
+    def test_bench_filename(self):
+        assert bench_filename("kernels") == "BENCH_kernels.json"
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        validate_document(make_document("m2td", "quick", [_record()]))
+
+    @pytest.mark.parametrize("missing", ["schema", "suite", "environment",
+                                         "workloads"])
+    def test_missing_top_field(self, missing):
+        doc = make_document("m2td", "quick", [_record()])
+        del doc[missing]
+        with pytest.raises(BenchError, match=missing):
+            validate_document(doc)
+
+    def test_wrong_schema_version(self):
+        doc = make_document("m2td", "quick", [_record()])
+        doc["schema"] = "repro.bench/99"
+        with pytest.raises(BenchError, match="unsupported schema"):
+            validate_document(doc)
+
+    def test_empty_workloads(self):
+        with pytest.raises(BenchError, match="no workloads"):
+            make_document("m2td", "quick", [])
+
+    def test_duplicate_workload_names(self):
+        with pytest.raises(BenchError, match="duplicate"):
+            make_document("m2td", "quick", [_record(), _record()])
+
+    def test_suite_mismatch(self):
+        with pytest.raises(BenchError, match="does not match"):
+            make_document("m2td", "quick", [_record(suite="kernels")])
+
+    def test_mode_mismatch(self):
+        with pytest.raises(BenchError, match="mode"):
+            make_document("m2td", "full", [_record(mode="quick")])
+
+    def test_negative_statistic(self):
+        record = _record()
+        record["wall_seconds"]["median"] = -1.0
+        with pytest.raises(BenchError, match="negative"):
+            make_document("m2td", "quick", [record])
+
+    def test_missing_samples(self):
+        record = _record()
+        record["wall_seconds"]["samples"] = []
+        with pytest.raises(BenchError, match="samples"):
+            make_document("m2td", "quick", [record])
+
+    def test_missing_environment_field(self):
+        doc = make_document("m2td", "quick", [_record()])
+        del doc["environment"]["numpy"]
+        with pytest.raises(BenchError, match="numpy"):
+            validate_document(doc)
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="cannot read"):
+            load_document(str(path))

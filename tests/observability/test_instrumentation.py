@@ -6,6 +6,8 @@ import time
 
 import pytest
 
+import numpy as np
+
 from repro.core import EnsembleStudy
 from repro.observability import (
     NullTracer,
@@ -13,10 +15,19 @@ from repro.observability import (
     flat_profile,
     get_tracer,
     span,
+    use_metrics,
     use_tracer,
 )
 from repro.runtime import Runtime, TaskGraph
+from repro.sampling import (
+    GridSampler,
+    LatinHypercubeSampler,
+    RandomSampler,
+    SliceSampler,
+)
 from repro.simulation import DoublePendulum
+from repro.storage import BlockTensorStore
+from repro.tensor import SparseTensor
 
 #: the flat profile must split pipeline time across these.
 PIPELINE_CATEGORIES = {
@@ -137,6 +148,92 @@ class TestCLITraceFlag:
         events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         assert any(e["name"] == "experiment:table2" for e in events)
         assert PIPELINE_CATEGORIES <= {e["cat"] for e in events}
+
+
+class TestStorageInstrumentation:
+    """PR-2 coverage gap: the block store reports spans and byte counts."""
+
+    @pytest.fixture()
+    def stored(self, tmp_path, rng):
+        store = BlockTensorStore(tmp_path / "store")
+        shape = (6, 5, 4)
+        coords = np.stack(
+            np.unravel_index(np.arange(0, 120, 3), shape), axis=1
+        )
+        tensor = SparseTensor(shape, coords, rng.standard_normal(len(coords)))
+        return store, tensor
+
+    def test_put_get_slice_emit_storage_spans(self, stored):
+        store, tensor = stored
+        with use_tracer(Tracer()) as tracer:
+            store.put("ens", tensor)
+            store.get("ens")
+            store.slice_query("ens", mode=0, index=2)
+        names = {
+            s.name for s in tracer.iter_spans() if s.category == "storage"
+        }
+        assert {"store-put", "store-get", "store-slice-query"} <= names
+        put = next(
+            s for s in tracer.iter_spans() if s.name == "store-put"
+        )
+        assert put.attrs["bytes_written"] > 0
+        assert put.attrs["n_blocks"] > 0
+        sliced = next(
+            s for s in tracer.iter_spans() if s.name == "store-slice-query"
+        )
+        assert sliced.attrs["blocks_read"] > 0
+
+    def test_serialisation_byte_counters(self, stored):
+        store, tensor = stored
+        with use_metrics() as registry:
+            store.put("ens", tensor)
+            store.get("ens")
+            store.slice_query("ens", mode=0, index=2)
+            assert registry.counter("storage.puts").value == 1
+            assert registry.counter("storage.gets").value == 1
+            assert registry.counter("storage.slice_queries").value == 1
+            written = registry.counter("storage.bytes_serialized").value
+            read = registry.counter("storage.bytes_deserialized").value
+            assert written > 0
+            # get() reads every block once; the slice query re-reads a
+            # subset — so at least the full serialized size came back.
+            assert read >= written
+            assert registry.counter("storage.block_reads").value > 0
+            assert registry.histogram("storage.block_bytes").count == (
+                registry.counter("storage.blocks_written").value
+            )
+
+
+class TestSamplerInstrumentation:
+    """PR-2 coverage gap: per-sampler cell counts and sample spans."""
+
+    SAMPLERS = [
+        RandomSampler(seed=7),
+        GridSampler(),
+        SliceSampler(seed=7),
+        LatinHypercubeSampler(seed=7),
+    ]
+
+    @pytest.mark.parametrize(
+        "sampler", SAMPLERS, ids=[s.name for s in SAMPLERS]
+    )
+    def test_per_sampler_cell_counters(self, sampler):
+        with use_metrics() as registry:
+            sample = sampler.sample((6, 6, 6), 30)
+            assert (
+                registry.counter(f"sample.{sampler.name}.cells").value
+                == sample.n_cells
+            )
+            assert registry.counter("sample.cells").value == sample.n_cells
+            assert registry.histogram("sample.density").count == 1
+
+    def test_sampler_span_carries_cells(self):
+        with use_tracer(Tracer()) as tracer:
+            RandomSampler(seed=7).sample((5, 5, 5), 20)
+        spans = [s for s in tracer.iter_spans() if s.name == "sample-random"]
+        assert spans and spans[0].category == "sample"
+        assert spans[0].attrs["cells"] == 20
+        assert spans[0].attrs["sampler"] == "Random"
 
 
 class TestRuntimeBridge:

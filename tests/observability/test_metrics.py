@@ -7,6 +7,7 @@ import pytest
 
 from repro.observability import (
     MetricsRegistry,
+    diff_snapshots,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -67,6 +68,91 @@ class TestHistogram:
 
     def test_empty_mean_is_none(self):
         assert MetricsRegistry().histogram("h").mean is None
+
+    def test_percentiles(self):
+        hist = MetricsRegistry().histogram("lat")
+        for value in range(1, 101):  # 1..100
+            hist.observe(value)
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(90) == pytest.approx(90.1)
+        assert hist.percentile(99) == pytest.approx(99.01)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_empty_percentile_is_none(self):
+        assert MetricsRegistry().histogram("h").percentile(50) is None
+
+    def test_as_dict_exports_percentiles(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1, 2, 3):
+            hist.observe(value)
+        dumped = hist.as_dict()
+        assert dumped["p50"] == 2.0
+        assert dumped["p90"] == pytest.approx(2.8)
+        assert dumped["p99"] == pytest.approx(2.98)
+
+    def test_decimation_bounds_memory_and_keeps_shape(self):
+        hist = MetricsRegistry().histogram("big")
+        hist.max_samples = 64  # shrink the ceiling for the test
+        for value in range(10_000):
+            hist.observe(value)
+        assert len(hist._samples) < 128
+        assert hist.count == 10_000
+        # The decimated percentile still tracks the true distribution.
+        assert abs(hist.percentile(50) - 5_000) < 1_000
+
+
+class TestSnapshotDiff:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(2)
+        before = registry.snapshot()
+        registry.counter("calls").inc(3)
+        delta = registry.diff(before)
+        assert delta["calls"] == {"kind": "counter", "value": 3.0}
+
+    def test_unchanged_metrics_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet").inc()
+        registry.gauge("level").set(4)
+        registry.histogram("h").observe(1)
+        before = registry.snapshot()
+        assert registry.diff(before) == {}
+
+    def test_metric_born_inside_window_reports_full_value(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("new").inc(7)
+        assert registry.diff(before)["new"]["value"] == 7.0
+
+    def test_gauge_reports_new_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("workers").set(1)
+        before = registry.snapshot()
+        registry.gauge("workers").set(4)
+        assert registry.diff(before)["workers"] == {
+            "kind": "gauge", "value": 4.0,
+        }
+
+    def test_histogram_window_delta(self):
+        registry = MetricsRegistry()
+        registry.histogram("rank").observe(100)
+        before = registry.snapshot()
+        registry.histogram("rank").observe(2)
+        registry.histogram("rank").observe(4)
+        delta = registry.diff(before)["rank"]
+        assert delta["count"] == 2
+        assert delta["sum"] == 6.0
+        assert delta["mean"] == 3.0
+
+    def test_diff_snapshots_is_pure(self):
+        before = {"c": {"kind": "counter", "value": 1.0}}
+        after = {"c": {"kind": "counter", "value": 4.0}}
+        assert diff_snapshots(before, after) == {
+            "c": {"kind": "counter", "value": 3.0}
+        }
+        # inputs untouched
+        assert before["c"]["value"] == 1.0
 
 
 class TestRegistry:
