@@ -19,7 +19,8 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tupl
 
 import numpy as np
 
-from ..exceptions import MapReduceError
+from ..exceptions import FaultInjectionError, MapReduceError
+from ..faults.injector import get_injector
 from ..observability import get_metrics, span as _span
 from ..runtime.executors import Executor, InlineExecutor, ThreadExecutor
 
@@ -78,6 +79,10 @@ class JobStats:
     map_tasks: List[TaskStats] = field(default_factory=list)
     reduce_tasks: List[TaskStats] = field(default_factory=list)
     shuffle_bytes: int = 0
+    #: Tasks that failed at least once and succeeded on re-execution.
+    retried_tasks: int = 0
+    #: Stragglers re-executed speculatively (fresh result taken).
+    speculative_tasks: int = 0
 
     @property
     def total_compute_seconds(self) -> float:
@@ -131,14 +136,34 @@ class LocalMapReduceEngine:
     """
 
     def __init__(
-        self, n_workers: int = 1, executor: Optional[Executor] = None
+        self,
+        n_workers: int = 1,
+        executor: Optional[Executor] = None,
+        task_attempts: int = 1,
+        straggler_seconds: Optional[float] = None,
     ):
         n_workers = int(n_workers)
         if n_workers < 1:
             raise MapReduceError(
                 f"n_workers must be >= 1, got {n_workers}"
             )
+        task_attempts = int(task_attempts)
+        if task_attempts < 1:
+            raise MapReduceError(
+                f"task_attempts must be >= 1, got {task_attempts}"
+            )
+        if straggler_seconds is not None and straggler_seconds <= 0:
+            raise MapReduceError(
+                f"straggler_seconds must be > 0, got {straggler_seconds}"
+            )
         self.n_workers = n_workers
+        #: Attempts per map/reduce task (1 = fail fast, Hadoop-style
+        #: re-execution when > 1).
+        self.task_attempts = task_attempts
+        #: Tasks slower than this are speculatively re-executed once
+        #: and the fresh copy's result is taken (``None`` disables).
+        self.straggler_seconds = straggler_seconds
+        self._stats_lock = threading.Lock()
         self._owns_executor = executor is None
         if executor is None:
             executor = (
@@ -174,6 +199,16 @@ class LocalMapReduceEngine:
                 task.task_id, "mapreduce", job=job.name, stage="map",
                 worker=threading.current_thread().name,
             ) as sp:
+                # Per-task fault hook: raise/crash/delay fire here (a
+                # delay lands inside the timer, so it shows up as a
+                # straggler); a drop-output decision is deferred until
+                # the work is done — the output, not the task, is lost.
+                injector = get_injector()
+                drop = None
+                if injector.enabled:
+                    decision = injector.fire("mapreduce.map", task.task_id)
+                    if decision is not None and decision.kind == "drop-output":
+                        drop = decision
                 for record_index in chunk:
                     key, value = records[record_index]
                     task.records_in += 1
@@ -189,6 +224,13 @@ class LocalMapReduceEngine:
                         task.records_out += 1
                         task.bytes_out += payload_bytes(out_value)
                         emitted_records.append((out_key, out_value))
+                if drop is not None:
+                    raise FaultInjectionError(
+                        "mapreduce.map",
+                        task.task_id,
+                        drop.spec.fault_id,
+                        "map output dropped",
+                    )
                 sp.set(
                     records_in=task.records_in, records_out=task.records_out
                 )
@@ -198,6 +240,8 @@ class LocalMapReduceEngine:
         map_results = self._dispatch(
             [(index, chunk) for index, chunk in enumerate(chunks)],
             run_map_task,
+            "mapreduce.map",
+            stats,
         )
         intermediate: List[Record] = []
         for task, emitted_records in map_results:
@@ -239,6 +283,9 @@ class LocalMapReduceEngine:
                 task.task_id, "mapreduce", job=job.name, stage="reduce",
                 worker=threading.current_thread().name,
             ):
+                injector = get_injector()
+                if injector.enabled:
+                    injector.fire("mapreduce.reduce", task.task_id)
                 try:
                     emitted = list(job.reduce_fn(key, values))
                 except Exception as exc:
@@ -254,7 +301,10 @@ class LocalMapReduceEngine:
 
         ordered_keys = sorted(groups, key=repr)
         results = self._dispatch(
-            [(key,) for key in ordered_keys], run_reduce_task
+            [(key,) for key in ordered_keys],
+            run_reduce_task,
+            "mapreduce.reduce",
+            stats,
         )
         for task, emitted in results:
             stats.reduce_tasks.append(task)
@@ -262,11 +312,47 @@ class LocalMapReduceEngine:
         return output, stats
 
     # ------------------------------------------------------------------
-    def _dispatch(self, arg_tuples, fn):
+    def _run_task(self, fn, args, site, stats):
+        """One task with Hadoop-style fault tolerance: up to
+        ``task_attempts`` executions on (injected or genuine) task
+        failure, then one speculative re-execution if the surviving
+        attempt ran longer than ``straggler_seconds``.  Tasks are
+        deterministic, so the rerun's records are identical and taking
+        the fresh copy never changes job output."""
+        attempts = self.task_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                task, emitted = fn(*args)
+            except (MapReduceError, FaultInjectionError):
+                if attempt >= attempts:
+                    raise
+                continue
+            injector = get_injector()
+            if attempt > 1:
+                with self._stats_lock:
+                    stats.retried_tasks += 1
+                if injector.enabled:
+                    injector.note_recovery(site, task.task_id)
+            if (
+                self.straggler_seconds is not None
+                and task.compute_seconds > self.straggler_seconds
+            ):
+                task, emitted = fn(*args)
+                with self._stats_lock:
+                    stats.speculative_tasks += 1
+                if injector.enabled:
+                    injector.note_recovery(site, task.task_id)
+            return task, emitted
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _dispatch(self, arg_tuples, fn, site, stats):
         """Run ``fn(*args)`` for each tuple on the executor, returning
         results in submission order (concurrent execution, sequential
         collection — hence deterministic output/statistics ordering)."""
+        def run_one(*args):
+            return self._run_task(fn, args, site, stats)
+
         if len(arg_tuples) <= 1 or isinstance(self.executor, InlineExecutor):
-            return [fn(*args) for args in arg_tuples]
-        futures = [self.executor.submit(fn, *args) for args in arg_tuples]
+            return [run_one(*args) for args in arg_tuples]
+        futures = [self.executor.submit(run_one, *args) for args in arg_tuples]
         return [future.result() for future in futures]

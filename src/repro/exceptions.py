@@ -50,6 +50,27 @@ class StorageError(ReproError, RuntimeError):
     """The block tensor store hit an I/O or catalog consistency problem."""
 
 
+class BlockCorruptionError(StorageError):
+    """A stored block is unreadable, truncated, or fails its checksum.
+
+    Raised instead of returning a silently wrong tensor: a corrupt or
+    missing-but-catalogued block must be loud so callers can recompute
+    or restore from the source ensemble.
+    """
+
+    def __init__(self, tensor: str, block_id, reason: str):
+        super().__init__(
+            f"block {tuple(block_id)} of tensor {tensor!r} is corrupt: "
+            f"{reason}"
+        )
+        self.tensor = tensor
+        self.block_id = tuple(block_id)
+        self.reason = reason
+
+    def __reduce__(self):
+        return (self.__class__, (self.tensor, self.block_id, self.reason))
+
+
 class MapReduceError(ReproError, RuntimeError):
     """A MapReduce job failed (bad job spec, task raised, etc.)."""
 
@@ -101,6 +122,39 @@ class RetryExhaustedError(RuntimeExecutionError):
 
 class CacheError(ReproError, RuntimeError):
     """The result cache could not fingerprint or persist a value."""
+
+
+class FaultInjectionError(ReproError, RuntimeError):
+    """An injected fault fired (deterministic chaos testing).
+
+    Carries full provenance — the injection site, the target id the
+    fault matched, and the fault's id within its plan — so a failure
+    observed N layers up can always be traced back to the schedule
+    that caused it (and reproduced from the plan's seed).
+    """
+
+    def __init__(self, site: str, target: str, fault_id: str,
+                 message: str = ""):
+        detail = f"injected fault {fault_id!r} fired at {site}:{target}"
+        if message:
+            detail = f"{detail} ({message})"
+        super().__init__(detail)
+        self.site = site
+        self.target = target
+        self.fault_id = fault_id
+        self.fault_message = message
+
+    def __reduce__(self):
+        # Survive the ProcessPoolExecutor round-trip (non-(args,)
+        # __init__ signature).
+        return (
+            self.__class__,
+            (self.site, self.target, self.fault_id, self.fault_message),
+        )
+
+
+class WorkerCrashError(FaultInjectionError):
+    """An injected fault simulating a crashed worker mid-task."""
 
 
 class ExperimentError(ReproError, RuntimeError):

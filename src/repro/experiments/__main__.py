@@ -21,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..faults import add_fault_args, inject_faults
 from ..observability import add_observability_args, observe, span
 from ..runtime import Runtime
 from .config import default_config, quick_config
@@ -63,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reuse ground-truth tensors instead of re-simulating",
     )
     add_observability_args(parser)
+    add_fault_args(parser)
     return parser
 
 
@@ -83,7 +85,9 @@ def main(argv=None) -> int:
     runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     sections = []
     try:
-        with observe(args.trace, args.profile, args.metrics):
+        with observe(args.trace, args.profile, args.metrics), inject_faults(
+            args.fault_plan, args.fault_seed
+        ):
             if args.all:
                 with span("experiments:all", "experiment"):
                     reports = run_all(config, runtime=runtime)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..core.pipeline import EnsembleStudy, StudyResult
 from ..exceptions import ExperimentError
+from ..faults import add_fault_args, inject_faults
 from ..observability import add_observability_args, observe, span
 from ..runtime import Runtime, TaskGraph, output
 from ..simulation import make_system
@@ -203,11 +204,14 @@ def main(argv=None) -> int:
         "ground-truth tensor instead of re-simulating",
     )
     add_observability_args(parser)
+    add_fault_args(parser)
     args = parser.parse_args(argv)
     config = load_config(args.config)
     runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     try:
-        with observe(args.trace, args.profile, args.metrics):
+        with observe(args.trace, args.profile, args.metrics), inject_faults(
+            args.fault_plan, args.fault_seed
+        ):
             with span(
                 "study", "experiment",
                 system=str(config["system"]),

@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection and chaos verification.
+
+The verification layer for the runtime and distributed stack: a
+declarative, seedable :class:`FaultPlan` schedules faults (raise,
+crash-worker, delay, corrupt, drop-output) against named injection
+sites threaded through the scheduler, executors, result cache,
+MapReduce engine and block store; a :class:`FaultInjector` executes
+the plan deterministically and meters what fired and what recovered
+(``faults.injected`` / ``faults.recovered`` counters and the
+``faults.recovery_seconds`` histogram on the process metrics
+registry).
+
+The chaos suite under ``tests/faults/`` builds on this to prove the
+properties the recovery code claims: single faults within the retry
+budget leave D-M2TD output byte-identical, exhausted retries surface
+the fault's provenance, and corrupted cache/storage bytes are always
+detected — never served as a silently wrong tensor.
+
+CLI runs take ``--fault-plan FILE`` (both ``python -m
+repro.experiments`` and the study runner) to replay a schedule; see
+``docs/fault-injection.md``.
+"""
+
+from .cli import add_fault_args, inject_faults
+from .injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    InjectionRecord,
+    NullInjector,
+    get_injector,
+    set_injector,
+    use_injector,
+)
+from .plan import KINDS, SITES, FaultPlan, FaultPlanError, FaultSpec, plan_of
+
+__all__ = [
+    "KINDS",
+    "SITES",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "plan_of",
+    "FaultInjector",
+    "InjectionRecord",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "get_injector",
+    "set_injector",
+    "use_injector",
+    "add_fault_args",
+    "inject_faults",
+]

@@ -1,0 +1,69 @@
+"""Argparse glue for fault injection: the ``--fault-plan`` flag.
+
+Mirrors :mod:`repro.observability.cli`::
+
+    add_fault_args(parser)
+    args = parser.parse_args(argv)
+    with inject_faults(args.fault_plan):
+        ...   # run under the plan; summary printed on exit
+
+Reproducing a CI chaos failure is then one flag: save the failing
+plan JSON (seed included) and rerun the same command with
+``--fault-plan plan.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .injector import FaultInjector, use_injector
+from .plan import FaultPlan
+
+__all__ = ["add_fault_args", "inject_faults"]
+
+
+def add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        help="JSON fault plan to inject during the run (deterministic "
+        "chaos testing; see docs/fault-injection.md)",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        metavar="N",
+        help="override the plan's seed (replay a different schedule of "
+        "probabilistic faults)",
+    )
+
+
+@contextmanager
+def inject_faults(
+    plan_path: Optional[str], seed: Optional[int] = None
+) -> Iterator[Optional[FaultInjector]]:
+    """Install a :class:`FaultInjector` for the block when a plan was
+    given; prints an injection summary on the way out (also on error —
+    knowing which faults fired is exactly what a post-mortem needs)."""
+    if not plan_path:
+        yield None
+        return
+    plan = FaultPlan.from_file(plan_path)
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    injector = FaultInjector(plan)
+    try:
+        with use_injector(injector):
+            yield injector
+    finally:
+        totals = injector.summary()
+        print(
+            f"[faults] plan {plan.name or plan_path!r} seed {plan.seed}: "
+            f"{totals['injected']} injected, "
+            f"{totals['recovered']} recovered",
+            file=sys.stderr,
+        )

@@ -13,12 +13,21 @@ compressed file per entry, arrays stored without pickling, structure
 inside the archive.  Values the codec cannot express (arbitrary
 objects) simply stay memory-only — the cache never falls back to
 pickle.
+
+Integrity: every entry carries a SHA-256 checksum over its manifest
+and arrays, written atomically (unique temp file + ``os.replace``) so
+a crash mid-write can never leave a half-entry behind.  A read that
+fails the checksum — or fails to parse at all — quarantines the file
+(renamed ``*.corrupt``) and reports a miss: corrupt bytes are always
+detected and healed by recompute, never served.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -27,7 +36,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import CacheError
+from ..exceptions import CacheError, FaultInjectionError
+from ..faults.injector import get_injector
+from ..observability import get_metrics
+
+logger = logging.getLogger(__name__)
 
 _MISSING = object()
 
@@ -156,6 +169,15 @@ def _decode(node: Dict, arrays: Dict[str, np.ndarray]) -> Any:
     raise CacheError(f"corrupt cache manifest node {node!r}")
 
 
+def _payload_digest(manifest_json: str, arrays: Dict[str, np.ndarray]) -> str:
+    """Checksum of one disk entry: manifest text + arrays, via the same
+    stable encoding the fingerprints use."""
+    h = hashlib.sha256()
+    _feed(h, manifest_json)
+    _feed(h, arrays)
+    return h.hexdigest()
+
+
 def _value_nbytes(value: Any) -> int:
     """Approximate in-memory footprint, mirroring the npz payload."""
     if isinstance(value, np.ndarray):
@@ -184,6 +206,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     bytes_cached: int = 0
+    corrupt_quarantined: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -193,6 +216,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "bytes_cached": self.bytes_cached,
+            "corrupt_quarantined": self.corrupt_quarantined,
         }
 
 
@@ -254,6 +278,11 @@ class ResultCache:
             self._store(key, value)
             self.stats.bytes_cached += nbytes
         self._disk_put(key, value)
+        # A successful (re)store heals any pending injected read fault
+        # for this key — recompute-after-corruption is the recovery.
+        injector = get_injector()
+        if injector.enabled:
+            injector.note_recovery("cache.read", key)
         return nbytes
 
     def __contains__(self, key: str) -> bool:
@@ -286,18 +315,54 @@ class ResultCache:
         path = self._path(key)
         if not path.exists():
             return _MISSING
+        injector = get_injector()
+        if injector.enabled:
+            try:
+                # The injector may bit-flip the file (caught below by
+                # the checksum) or raise a simulated I/O error.
+                injector.fire("cache.read", key, path=path)
+            except FaultInjectionError:
+                return _MISSING  # this read fails; recompute heals it
         try:
             with np.load(path, allow_pickle=False) as data:
-                manifest = json.loads(str(data["__manifest__"][()]))
+                manifest_json = str(data["__manifest__"][()])
+                stored_digest = (
+                    str(data["__checksum__"][()])
+                    if "__checksum__" in data.files
+                    else None  # pre-checksum entry: accept if parsable
+                )
                 arrays = {
                     name: data[name] for name in data.files
-                    if name != "__manifest__"
+                    if name not in ("__manifest__", "__checksum__")
                 }
-            return _decode(manifest, arrays)
-        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
-            raise CacheError(
-                f"cannot read cache entry {path}: {exc}"
-            ) from exc
+            if stored_digest is not None and stored_digest != (
+                _payload_digest(manifest_json, arrays)
+            ):
+                raise CacheError("checksum mismatch")
+            return _decode(json.loads(manifest_json), arrays)
+        except Exception as exc:  # noqa: BLE001 — any unreadable entry
+            # is corruption by definition; a cache read must never
+            # poison the run, so quarantine the file and recompute.
+            self._quarantine(path, exc)
+            return _MISSING
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt entry aside (``*.corrupt``) and meter it."""
+        quarantined = path.with_suffix(".corrupt")
+        try:
+            path.replace(quarantined)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        with self._lock:
+            self.stats.corrupt_quarantined += 1
+        get_metrics().counter("cache.corrupt_quarantined").inc()
+        logger.warning(
+            "quarantined corrupt cache entry %s (%s); will recompute",
+            path, reason,
+        )
 
     def _disk_put(self, key: str, value: Any) -> bool:
         if self.directory is None:
@@ -314,14 +379,26 @@ class ResultCache:
                 f"usable: {exc}"
             ) from exc
         path = self._path(key)
-        tmp = path.with_suffix(".tmp.npz")
+        manifest_json = json.dumps(manifest)
+        # Unique temp name per writer + atomic os.replace: a truncated
+        # or concurrent write can never surface as a stale/partial
+        # entry under the real key.
+        tmp = self.directory / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}.tmp.npz"
+        )
         try:
-            np.savez_compressed(
-                tmp,
-                __manifest__=np.asarray(json.dumps(manifest)),
-                **arrays,
-            )
-            tmp.replace(path)
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    __manifest__=np.asarray(manifest_json),
+                    __checksum__=np.asarray(
+                        _payload_digest(manifest_json, arrays)
+                    ),
+                    **arrays,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
         except OSError as exc:
             tmp.unlink(missing_ok=True)
             raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
@@ -334,4 +411,7 @@ class ResultCache:
         """Fingerprints currently persisted on disk."""
         if self.directory is None or not self.directory.exists():
             return []
-        return sorted(p.stem for p in self.directory.glob("*.npz"))
+        return sorted(
+            p.stem for p in self.directory.glob("*.npz")
+            if not p.name.startswith(".")  # in-flight temp files
+        )

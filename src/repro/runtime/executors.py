@@ -27,6 +27,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Optional
 
 from ..exceptions import TaskGraphError
+from ..faults.injector import get_injector
 
 
 class Executor(ABC):
@@ -38,6 +39,17 @@ class Executor(ABC):
     @abstractmethod
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Schedule ``fn(*args, **kwargs)``; returns a Future."""
+
+    def _prepare(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Fault-injection hook at the ``executor.submit`` site (target
+        = this executor's kind).  The decision is taken on the
+        submitting thread, but the effect fires inside the returned
+        callable — wherever the venue runs it — so a simulated worker
+        crash travels through the future like any real failure."""
+        injector = get_injector()
+        if injector.enabled:
+            return injector.wrap_callable("executor.submit", self.kind, fn)
+        return fn
 
     def shutdown(self, wait: bool = True) -> None:
         """Release pooled workers (no-op for the inline executor)."""
@@ -55,6 +67,7 @@ class InlineExecutor(Executor):
     kind = "inline"
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        fn = self._prepare(fn)
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
@@ -89,7 +102,7 @@ class _PooledExecutor(Executor):
             return self._pool
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
-        return self._ensure_pool().submit(fn, *args, **kwargs)
+        return self._ensure_pool().submit(self._prepare(fn), *args, **kwargs)
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:

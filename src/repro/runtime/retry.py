@@ -48,6 +48,12 @@ class RetryPolicy:
         pre-emptively for thread/process executors via future timeouts;
         the inline executor can only detect the overrun after the call
         returns.
+    backoff_budget_seconds:
+        Cap on the *cumulative* sleep across every retry of one task
+        (``None`` = unbounded).  Later delays are clipped so the total
+        backoff never exceeds the budget — a 10-attempt policy cannot
+        stall a graph for longer than its declared budget, no matter
+        how the geometric sequence grows.
     retry_on:
         Exception classes that count as transient.  Anything else
         (and everything in :data:`NON_RETRYABLE`) fails immediately.
@@ -58,6 +64,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff_seconds: float = 2.0
     timeout_seconds: Optional[float] = None
+    backoff_budget_seconds: Optional[float] = None
     retry_on: Tuple[Type[BaseException], ...] = (Exception,)
 
     def __post_init__(self) -> None:
@@ -75,14 +82,47 @@ class RetryPolicy:
             raise TaskGraphError(
                 f"timeout_seconds must be > 0, got {self.timeout_seconds}"
             )
+        if (
+            self.backoff_budget_seconds is not None
+            and self.backoff_budget_seconds < 0
+        ):
+            raise TaskGraphError(
+                "backoff_budget_seconds must be >= 0, got "
+                f"{self.backoff_budget_seconds}"
+            )
 
-    def delay(self, attempt: int) -> float:
-        """Sleep before attempt ``attempt`` (1-based; attempt 1 never
-        sleeps)."""
+    def _raw_delay(self, attempt: int) -> float:
+        """The geometric sequence clamped per-sleep (budget ignored)."""
         if attempt <= 1:
             return 0.0
         raw = self.backoff_seconds * self.backoff_factor ** (attempt - 2)
         return float(min(raw, self.max_backoff_seconds))
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before attempt ``attempt`` (1-based; attempt 1 never
+        sleeps).  With a backoff budget, the delay is additionally
+        clipped so the cumulative sleep through this attempt stays
+        within ``backoff_budget_seconds``."""
+        if attempt <= 1:
+            return 0.0
+        if self.backoff_budget_seconds is None:
+            return self._raw_delay(attempt)
+        spent = self.total_backoff(attempt - 1)
+        remaining = max(0.0, self.backoff_budget_seconds - spent)
+        return float(min(self._raw_delay(attempt), remaining))
+
+    def total_backoff(self, attempts: int) -> float:
+        """Cumulative sleep before attempts ``2..attempts`` (with the
+        budget applied) — never exceeds ``backoff_budget_seconds``."""
+        total = 0.0
+        for attempt in range(2, attempts + 1):
+            step = self._raw_delay(attempt)
+            if self.backoff_budget_seconds is not None:
+                step = min(
+                    step, max(0.0, self.backoff_budget_seconds - total)
+                )
+            total += step
+        return total
 
     def should_retry(self, attempt: int, error: BaseException) -> bool:
         """May the scheduler try again after ``attempt`` failed?"""

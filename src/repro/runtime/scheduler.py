@@ -36,6 +36,7 @@ from ..exceptions import (
     TaskGraphError,
     TaskTimeoutError,
 )
+from ..faults.injector import get_injector
 from ..observability import get_metrics, get_tracer
 from .cache import ResultCache, fingerprint
 from .executors import Executor, InlineExecutor, ProcessExecutor, ThreadExecutor
@@ -143,6 +144,15 @@ class TaskGraphRunner:
             m.attempts = attempt
             args = tuple(_resolve(a, results) for a in task.args)
             kwargs = {k: _resolve(v, results) for k, v in task.kwargs.items()}
+            fn = task.fn
+            injector = get_injector()
+            if injector.enabled:
+                # Fault-injection site "runtime.task" (target = task
+                # name).  Decided here, per attempt, so a budgeted
+                # fault fails attempt 1 and lets the retry succeed;
+                # the effect fires on the task's executor so it flows
+                # through the ordinary failure path.
+                fn = injector.wrap_callable("runtime.task", task.name, fn)
             if attempt == 1:
                 m.started_at = time.perf_counter()
             started = time.monotonic()
@@ -151,7 +161,7 @@ class TaskGraphRunner:
                 if policy.timeout_seconds is not None
                 else None
             )
-            future = executor.submit(task.fn, *args, **kwargs)
+            future = executor.submit(fn, *args, **kwargs)
             running[future] = _Attempt(task, attempt, started, deadline)
 
         def fail(task: Task, attempt: int, error: BaseException) -> None:
@@ -243,6 +253,13 @@ class TaskGraphRunner:
                                 ),
                             )
                         else:
+                            if attempt_info.attempt > 1:
+                                # A retry healed the task: credit the
+                                # fault accounting (no-op unless an
+                                # injected fault is pending for it).
+                                get_injector().note_recovery(
+                                    "runtime.task", task.name
+                                )
                             finish(task.name, future.result())
                     else:
                         fail(task, attempt_info.attempt, error)

@@ -10,19 +10,37 @@ the systems the paper cites.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import StorageError
+from ..exceptions import BlockCorruptionError, StorageError
+from ..faults.injector import get_injector
 from ..observability import get_metrics, span as _span
 from ..tensor.sparse import SparseTensor
 from .blocks import BlockedLayout, BlockId, assemble_from_blocks, split_into_blocks
 from .catalog import Catalog, TensorEntry
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def _block_digest(coords, values, shape) -> str:
+    """Content checksum over a block's payload arrays.  Stored inside
+    each block ``.npz`` so a flipped bit on disk is detected at read
+    time instead of silently feeding garbage into a decomposition."""
+    digest = hashlib.sha256()
+    for array in (
+        np.ascontiguousarray(coords),
+        np.ascontiguousarray(values),
+        np.asarray(shape, dtype=np.int64),
+    ):
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 class BlockTensorStore:
@@ -94,6 +112,9 @@ class BlockTensorStore:
                     coords=block.coords,
                     values=block.values,
                     shape=np.asarray(block.shape, dtype=np.int64),
+                    checksum=np.asarray(
+                        _block_digest(block.coords, block.values, block.shape)
+                    ),
                 )
                 block_bytes = path.stat().st_size
                 bytes_written += block_bytes
@@ -121,7 +142,14 @@ class BlockTensorStore:
         return BlockedLayout(entry.shape, entry.block_shape)
 
     def get_block(self, name: str, block_id: BlockId) -> SparseTensor:
-        """Load one block (empty tensor if the block has no cells)."""
+        """Load one block (empty tensor if the block has no cells).
+
+        Blocks the catalog says exist must be present and pass their
+        checksum; a missing file, an unreadable ``.npz``, or a payload
+        that no longer matches its stored digest raises
+        :class:`~repro.exceptions.BlockCorruptionError` — never a
+        silently-empty tensor feeding garbage downstream.
+        """
         entry = self.catalog.get(name)
         layout = BlockedLayout(entry.shape, entry.block_shape)
         block_id = tuple(int(i) for i in block_id)
@@ -135,15 +163,44 @@ class BlockTensorStore:
         path = self._block_path(name, block_id)
         metrics = get_metrics()
         metrics.counter("storage.block_reads").inc()
+        catalogued = block_id in set(map(tuple, entry.block_ids))
+        injector = get_injector()
+        if injector.enabled:
+            # raise/crash/delay fire here; a "corrupt" decision flips
+            # bytes in the block file so the real checksum path below
+            # is what detects it.
+            injector.fire(
+                "storage.block-read", f"{name}/{block_id}", path=path
+            )
         if not path.exists():
+            if catalogued:
+                metrics.counter("storage.block_corruptions").inc()
+                raise BlockCorruptionError(
+                    name, block_id, "catalogued block file is missing"
+                )
             return SparseTensor(layout.block_extent(block_id))
         metrics.counter("storage.bytes_deserialized").inc(path.stat().st_size)
-        with np.load(path) as data:
-            return SparseTensor(
-                tuple(int(s) for s in data["shape"]),
-                data["coords"],
-                data["values"],
-            )
+        try:
+            with np.load(path) as data:
+                shape = tuple(int(s) for s in data["shape"])
+                coords = data["coords"]
+                values = data["values"]
+                if "checksum" in data.files:
+                    expected = str(data["checksum"])
+                    actual = _block_digest(coords, values, shape)
+                    if actual != expected:
+                        raise BlockCorruptionError(
+                            name, block_id, "checksum mismatch"
+                        )
+            return SparseTensor(shape, coords, values)
+        except BlockCorruptionError:
+            metrics.counter("storage.block_corruptions").inc()
+            raise
+        except Exception as exc:
+            metrics.counter("storage.block_corruptions").inc()
+            raise BlockCorruptionError(
+                name, block_id, f"unreadable block file: {exc}"
+            ) from exc
 
     def iter_blocks(self, name: str) -> Iterator[Tuple[BlockId, SparseTensor]]:
         entry = self.catalog.get(name)

@@ -32,3 +32,63 @@ def triple_study() -> EnsembleStudy:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# D-M2TD determinism harness, shared by tests/distributed, tests/runtime
+# and tests/faults: one canonical problem, one byte-level comparison.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def dm2td_inputs():
+    """Canonical small D-M2TD problem: ``(x1, x2, partition, ranks)``."""
+    from repro.sampling import PFPartition
+    from repro.tensor import SparseTensor
+
+    partition = PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
+    generator = np.random.default_rng(0)
+    x1 = SparseTensor.from_dense(
+        generator.standard_normal(partition.sub_shape(1)) + 2,
+        keep_zeros=True,
+    )
+    x2 = SparseTensor.from_dense(
+        generator.standard_normal(partition.sub_shape(2)) + 2,
+        keep_zeros=True,
+    )
+    return x1, x2, partition, [2] * 5
+
+
+def dm2td_payload(run):
+    """The byte-level identity of a D-M2TD run: core + every factor."""
+    tucker = run.result.tucker
+    return (
+        tucker.core.tobytes(),
+        tuple(factor.tobytes() for factor in tucker.factors),
+    )
+
+
+@pytest.fixture(scope="session")
+def dm2td_payload_fn():
+    """The payload extractor as a fixture, so subdirectory suites can
+    compare runs without importing from conftest modules."""
+    return dm2td_payload
+
+
+@pytest.fixture()
+def assert_identical_across_workers():
+    """Byte-identical-determinism check: ``check(run_fn)`` calls
+    ``run_fn(workers)`` for workers 1/2/4 and asserts every run's
+    decomposition payload (core + factors, raw bytes) is identical.
+    Returns the common payload so callers can compare against a
+    baseline run (e.g. a fault-free one)."""
+
+    def check(run_fn, workers=(1, 2, 4)):
+        payloads = {w: dm2td_payload(run_fn(w)) for w in workers}
+        baseline = payloads[workers[0]]
+        for w in workers[1:]:
+            assert payloads[w] == baseline, (
+                f"D-M2TD output with {w} workers diverges from "
+                f"{workers[0]}-worker run"
+            )
+        return baseline
+
+    return check

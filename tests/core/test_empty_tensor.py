@@ -1,0 +1,80 @@
+"""Degenerate input coverage: 0-nnz sub-tensors through stitch → M2TD.
+
+An all-zero ensemble (every simulation produced nothing in the
+observed cells) is a legal, if useless, input; the pipeline must
+produce a well-shaped, finite decomposition — not crash in an SVD or
+divide by an empty norm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.m2td import m2td_decompose
+from repro.core.stitch import join_tensor, zero_join_tensor
+from repro.sampling import PFPartition
+from repro.tensor import SparseTensor
+
+
+@pytest.fixture()
+def partition():
+    return PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
+
+
+@pytest.fixture()
+def empty_subs(partition):
+    return (
+        SparseTensor(partition.sub_shape(1)),
+        SparseTensor(partition.sub_shape(2)),
+    )
+
+
+class TestStitchEmpty:
+    def test_join_of_empty_tensors_is_empty(self, partition, empty_subs):
+        x1, x2 = empty_subs
+        joined = join_tensor(x1, x2, partition)
+        assert joined.nnz == 0
+        assert joined.shape == partition.join_shape
+
+    def test_zero_join_of_empty_tensors_is_empty(
+        self, partition, empty_subs
+    ):
+        x1, x2 = empty_subs
+        joined = zero_join_tensor(x1, x2, partition)
+        assert joined.nnz == 0
+        assert joined.shape == partition.join_shape
+
+    def test_one_sided_empty_join(self, partition):
+        rng = np.random.default_rng(3)
+        x1 = SparseTensor.from_dense(
+            rng.standard_normal(partition.sub_shape(1)), keep_zeros=True
+        )
+        x2 = SparseTensor(partition.sub_shape(2))
+        joined = join_tensor(x1, x2, partition)
+        assert joined.shape == partition.join_shape
+        assert np.isfinite(joined.values).all()
+
+
+class TestM2TDEmpty:
+    @pytest.mark.parametrize("variant", ["select", "avg"])
+    def test_decompose_empty_tensors_yields_finite_result(
+        self, partition, empty_subs, variant
+    ):
+        x1, x2 = empty_subs
+        result = m2td_decompose(x1, x2, partition, [2] * 5,
+                                variant=variant)
+        core = result.tucker.core
+        assert core.shape == (2, 2, 2, 2, 2)
+        assert np.isfinite(core).all()
+        for factor, size in zip(result.tucker.factors, (4, 4, 4, 4, 4)):
+            assert factor.shape[0] == size
+            assert np.isfinite(factor).all()
+
+    def test_decompose_one_sided_empty(self, partition):
+        rng = np.random.default_rng(3)
+        x1 = SparseTensor.from_dense(
+            rng.standard_normal(partition.sub_shape(1)) + 2,
+            keep_zeros=True,
+        )
+        x2 = SparseTensor(partition.sub_shape(2))
+        result = m2td_decompose(x1, x2, partition, [2] * 5)
+        assert np.isfinite(result.tucker.core).all()

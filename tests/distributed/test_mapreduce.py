@@ -143,29 +143,16 @@ class TestThreadedEngine:
         )
         assert sorted(output) == [(0, "x"), (1, "y")]
 
-    def test_dm2td_agrees_across_worker_counts(self):
-        import numpy as np
-
+    def test_dm2td_agrees_across_worker_counts(
+        self, dm2td_inputs, assert_identical_across_workers
+    ):
         from repro.distributed import distributed_m2td
-        from repro.sampling import PFPartition
-        from repro.tensor import SparseTensor
 
-        part = PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
-        rng = np.random.default_rng(0)
-        x1 = SparseTensor.from_dense(
-            rng.standard_normal(part.sub_shape(1)) + 2, keep_zeros=True
-        )
-        x2 = SparseTensor.from_dense(
-            rng.standard_normal(part.sub_shape(2)) + 2, keep_zeros=True
-        )
-        seq = distributed_m2td(
-            x1, x2, part, [2] * 5, engine=LocalMapReduceEngine(1)
-        )
-        par = distributed_m2td(
-            x1, x2, part, [2] * 5, engine=LocalMapReduceEngine(4)
-        )
-        assert np.allclose(
-            seq.result.tucker.core, par.result.tucker.core
+        x1, x2, part, ranks = dm2td_inputs
+        assert_identical_across_workers(
+            lambda workers: distributed_m2td(
+                x1, x2, part, ranks, engine=LocalMapReduceEngine(workers)
+            )
         )
 
 
@@ -198,38 +185,25 @@ class TestDeterminismWithTracing:
         assert spans
         assert all(s.attrs["worker"] for s in spans)
 
-    def test_dm2td_byte_identical_across_workers_with_tracing(self):
-        import numpy as np
-
+    def test_dm2td_byte_identical_across_workers_with_tracing(
+        self, dm2td_inputs, assert_identical_across_workers
+    ):
         from repro.distributed import distributed_m2td
         from repro.observability import Tracer, use_tracer
-        from repro.sampling import PFPartition
-        from repro.tensor import SparseTensor
 
-        part = PFPartition((4, 4, 4, 4, 4), (4,), (0, 1), (2, 3))
-        rng = np.random.default_rng(0)
-        x1 = SparseTensor.from_dense(
-            rng.standard_normal(part.sub_shape(1)) + 2, keep_zeros=True
-        )
-        x2 = SparseTensor.from_dense(
-            rng.standard_normal(part.sub_shape(2)) + 2, keep_zeros=True
-        )
-        cores, factor_sets, phase_cats = {}, {}, {}
-        for workers in (1, 2, 4):
+        x1, x2, part, ranks = dm2td_inputs
+        phase_cats = {}
+
+        def run_traced(workers):
             with use_tracer(Tracer()) as tracer:
                 run = distributed_m2td(
-                    x1, x2, part, [2] * 5,
+                    x1, x2, part, ranks,
                     engine=LocalMapReduceEngine(workers),
                 )
-            cores[workers] = run.result.tucker.core.tobytes()
-            factor_sets[workers] = [
-                f.tobytes() for f in run.result.tucker.factors
-            ]
-            phase_cats[workers] = {
-                s.category for s in tracer.iter_spans()
-            }
-        assert cores[1] == cores[2] == cores[4]
-        assert factor_sets[1] == factor_sets[2] == factor_sets[4]
+            phase_cats[workers] = {s.category for s in tracer.iter_spans()}
+            return run
+
+        assert_identical_across_workers(run_traced)
         # Per-phase spans were recorded for every worker count.
         for workers in (1, 2, 4):
             assert {"decompose", "stitch", "stitch-factor"} <= (

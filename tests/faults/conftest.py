@@ -1,0 +1,32 @@
+"""Chaos-suite fixtures.
+
+The whole suite is parameterised by one environment variable,
+``M2TD_CHAOS_SEED`` — CI runs the suite under several seeds, and any
+failure is reproducible locally by exporting the same value.  The
+seed feeds every :class:`~repro.faults.FaultPlan`, so it shifts which
+probabilistic faults fire while keeping each run deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.distributed import distributed_m2td
+
+#: One knob for the whole suite (CI matrix: 0, 1, 2).
+CHAOS_SEED = int(os.environ.get("M2TD_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return CHAOS_SEED
+
+
+@pytest.fixture(scope="session")
+def fault_free_payload(dm2td_inputs, dm2td_payload_fn):
+    """The ground truth every chaos run must reproduce byte-for-byte:
+    one fault-free D-M2TD run on the canonical inputs."""
+    x1, x2, part, ranks = dm2td_inputs
+    return dm2td_payload_fn(distributed_m2td(x1, x2, part, ranks))

@@ -1,0 +1,130 @@
+"""Cache corruption chaos: detected, metered, healed by recompute.
+
+The contract under test: a corrupt (or unreadable, or truncated) disk
+cache entry must never poison a run — the read misses, the entry is
+quarantined, the task recomputes, and the recompute's ``put`` both
+repairs the disk tier and closes the injected fault's recovery record.
+"""
+
+import numpy as np
+
+from repro.faults import FaultInjector, FaultSpec, plan_of, use_injector
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.runtime import ResultCache, Runtime, TaskGraph, fingerprint
+
+
+def counting_graph(calls):
+    def expensive():
+        calls.append(1)
+        return np.arange(8.0)
+
+    graph = TaskGraph()
+    graph.add("work", expensive, cache_key=("payload",))
+    return graph
+
+
+class TestInjectedCorruption:
+    def test_detected_metered_and_healed_by_recompute(
+        self, tmp_path, chaos_seed
+    ):
+        calls = []
+        with Runtime(cache_dir=tmp_path) as rt:
+            first = rt.run(counting_graph(calls))["work"]
+        assert len(calls) == 1
+
+        plan = plan_of(
+            [FaultSpec(site="cache.read", kind="corrupt", target="*",
+                       times=1)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+        registry = MetricsRegistry()
+        with use_metrics(registry), use_injector(injector):
+            with Runtime(cache_dir=tmp_path) as rt2:
+                second = rt2.run(counting_graph(calls))["work"]
+        assert np.array_equal(first, second)
+        assert len(calls) == 2  # corrupt entry forced a recompute
+        assert rt2.cache.stats.corrupt_quarantined == 1
+        assert injector.summary() == {"injected": 1, "recovered": 1}
+        assert registry.counter("faults.injected").value == 1
+        assert registry.counter("faults.recovered").value == 1
+        assert registry.counter("cache.corrupt_quarantined").value == 1
+        assert registry.histogram("faults.recovery_seconds").count == 1
+
+        # The recompute's put healed the disk tier: a fresh runtime
+        # (no faults) hits cleanly without running the task again.
+        with Runtime(cache_dir=tmp_path) as rt3:
+            third = rt3.run(counting_graph(calls))["work"]
+        assert np.array_equal(first, third)
+        assert len(calls) == 2
+
+    def test_injected_read_error_becomes_a_miss(self, tmp_path, chaos_seed):
+        key = fingerprint("truth", ("sim", 1))
+        value = np.arange(16.0)
+        ResultCache(directory=tmp_path).put(key, value)
+
+        plan = plan_of(
+            [FaultSpec(site="cache.read", kind="raise", target="*",
+                       times=1)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+        fresh = ResultCache(directory=tmp_path)
+        with use_injector(injector):
+            hit, _ = fresh.get(key)
+            assert not hit  # the faulted read is a miss, not a crash
+            fresh.put(key, value)  # "recompute" heals the fault
+        assert injector.summary() == {"injected": 1, "recovered": 1}
+        # The file itself was never corrupted; it still reads cleanly.
+        hit, restored = ResultCache(directory=tmp_path).get(key)
+        assert hit and np.array_equal(restored, value)
+
+
+class TestRealCorruption:
+    def test_truncated_write_triggers_recompute(self, tmp_path):
+        """Regression: a torn write used to raise on the next read."""
+        key = fingerprint("truth", ("sim", 2))
+        value = np.arange(32.0)
+        ResultCache(directory=tmp_path).put(key, value)
+        path = tmp_path / f"{key}.npz"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # simulated torn write
+
+        fresh = ResultCache(directory=tmp_path)
+        hit, _ = fresh.get(key)
+        assert not hit
+        assert fresh.stats.corrupt_quarantined == 1
+        assert (tmp_path / f"{key}.corrupt").exists()
+        assert not path.exists()  # moved aside, not left to re-fail
+
+        # Recompute + put restores a good entry under the same key.
+        fresh.put(key, value)
+        hit, restored = ResultCache(directory=tmp_path).get(key)
+        assert hit and np.array_equal(restored, value)
+
+    def test_checksum_catches_silent_payload_tampering(self, tmp_path):
+        """Bit-rot that keeps the zip container valid must still be
+        caught — by the content checksum, not the CRC."""
+        key = fingerprint("truth", ("sim", 3))
+        ResultCache(directory=tmp_path).put(key, np.arange(4.0))
+        path = tmp_path / f"{key}.npz"
+        with np.load(path, allow_pickle=False) as data:
+            contents = {name: data[name] for name in data.files}
+        [array_name] = [n for n in contents if not n.startswith("__")]
+        contents[array_name] = contents[array_name] + 1.0
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **contents)  # stale __checksum__
+
+        fresh = ResultCache(directory=tmp_path)
+        hit, _ = fresh.get(key)
+        assert not hit
+        assert fresh.stats.corrupt_quarantined == 1
+
+    def test_temp_and_quarantined_files_invisible_to_disk_keys(
+        self, tmp_path
+    ):
+        cache = ResultCache(directory=tmp_path)
+        key = fingerprint("truth", ("sim", 4))
+        cache.put(key, np.arange(4.0))
+        (tmp_path / ".stray.12345.67890.tmp.npz").write_bytes(b"partial")
+        assert cache.disk_keys() == [key]

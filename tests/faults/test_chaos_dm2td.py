@@ -1,0 +1,202 @@
+"""The headline chaos property (paper reproduction meets fault
+tolerance): any *single* injected task failure within the retry budget
+leaves the D-M2TD decomposition **byte-identical** to a fault-free run
+— at 1, 2 and 4 workers — and exhausted budgets surface through the
+existing exception family with the fault's provenance attached.
+
+Every plan is seeded from ``M2TD_CHAOS_SEED`` (CI runs a seed matrix),
+so a red run here is reproducible locally from one environment
+variable.
+"""
+
+import pytest
+
+from repro.distributed import LocalMapReduceEngine, distributed_m2td
+from repro.exceptions import FaultInjectionError, TaskFailedError
+from repro.faults import FaultInjector, FaultSpec, plan_of, use_injector
+from repro.runtime import RetryPolicy, Runtime
+
+RETRY_ONCE = RetryPolicy(max_attempts=2, backoff_seconds=0.0)
+
+#: (spec, straggler_seconds) — one fault per case, all within the
+#: engine's task_attempts=2 budget.
+ENGINE_FAULTS = [
+    pytest.param(
+        FaultSpec(site="mapreduce.map", kind="raise", target="map-0",
+                  times=1),
+        None, id="map-raise",
+    ),
+    pytest.param(
+        FaultSpec(site="mapreduce.map", kind="crash-worker",
+                  target="map-0", times=1),
+        None, id="map-crash",
+    ),
+    pytest.param(
+        FaultSpec(site="mapreduce.map", kind="drop-output",
+                  target="map-0", times=1),
+        None, id="map-drop-output",
+    ),
+    pytest.param(
+        FaultSpec(site="mapreduce.reduce", kind="raise",
+                  target="reduce-1", times=1),
+        None, id="reduce-raise",
+    ),
+    pytest.param(
+        FaultSpec(site="mapreduce.map", kind="delay", target="map-0",
+                  times=1, delay_seconds=0.25),
+        0.05, id="map-straggler-speculation",
+    ),
+]
+
+RUNTIME_FAULTS = [
+    pytest.param(
+        FaultSpec(site="runtime.task", kind="raise", target="phase1",
+                  times=1),
+        id="task-raise",
+    ),
+    pytest.param(
+        FaultSpec(site="runtime.task", kind="crash-worker",
+                  target="phase2", times=1),
+        id="task-crash",
+    ),
+    pytest.param(
+        FaultSpec(site="runtime.task", kind="delay", target="phase3",
+                  times=1, delay_seconds=0.05),
+        id="task-delay",
+    ),
+    pytest.param(
+        FaultSpec(site="executor.submit", kind="raise", target="*",
+                  times=1),
+        id="executor-submit-raise",
+    ),
+]
+
+
+@pytest.mark.parametrize("spec,straggler_seconds", ENGINE_FAULTS)
+def test_single_engine_fault_output_byte_identical(
+    spec, straggler_seconds, dm2td_inputs, fault_free_payload,
+    assert_identical_across_workers, chaos_seed,
+):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of([spec], seed=chaos_seed)
+    summaries = {}
+
+    def run(workers):
+        engine = LocalMapReduceEngine(
+            workers, task_attempts=2,
+            straggler_seconds=straggler_seconds,
+        )
+        injector = FaultInjector(plan)  # fresh injector = replay
+        with use_injector(injector):
+            result = distributed_m2td(x1, x2, part, ranks, engine=engine)
+        summaries[workers] = injector.summary()
+        return result
+
+    payload = assert_identical_across_workers(run)
+    assert payload == fault_free_payload
+    for workers, summary in summaries.items():
+        assert summary["injected"] >= 1, (
+            f"fault never fired with {workers} workers"
+        )
+        if spec.kind != "delay":  # delays need no recovery
+            assert summary["recovered"] >= 1, (
+                f"fault not recovered with {workers} workers"
+            )
+
+
+@pytest.mark.parametrize("spec", RUNTIME_FAULTS)
+def test_single_runtime_fault_output_byte_identical(
+    spec, dm2td_inputs, fault_free_payload,
+    assert_identical_across_workers, chaos_seed,
+):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of([spec], seed=chaos_seed)
+    summaries = {}
+
+    def run(workers):
+        injector = FaultInjector(plan)
+        with use_injector(injector):
+            with Runtime(workers=workers, default_retry=RETRY_ONCE) as rt:
+                result = distributed_m2td(
+                    x1, x2, part, ranks, runtime=rt
+                )
+        summaries[workers] = injector.summary()
+        return result
+
+    payload = assert_identical_across_workers(run)
+    assert payload == fault_free_payload
+    for workers, summary in summaries.items():
+        assert summary["injected"] >= 1, (
+            f"fault never fired with {workers} workers"
+        )
+
+
+def test_straggler_speculation_is_metered(dm2td_inputs, chaos_seed):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of(
+        [FaultSpec(site="mapreduce.map", kind="delay", target="map-0",
+                   times=1, delay_seconds=0.25)],
+        seed=chaos_seed,
+    )
+    engine = LocalMapReduceEngine(2, straggler_seconds=0.05)
+    with use_injector(FaultInjector(plan)):
+        result = distributed_m2td(x1, x2, part, ranks, engine=engine)
+    assert sum(
+        stats.speculative_tasks for stats in result.job_stats.values()
+    ) >= 1
+
+
+def test_retried_engine_tasks_are_metered(dm2td_inputs, chaos_seed):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of(
+        [FaultSpec(site="mapreduce.map", kind="raise", target="map-0",
+                   times=1)],
+        seed=chaos_seed,
+    )
+    engine = LocalMapReduceEngine(2, task_attempts=2)
+    with use_injector(FaultInjector(plan)):
+        result = distributed_m2td(x1, x2, part, ranks, engine=engine)
+    assert sum(
+        stats.retried_tasks for stats in result.job_stats.values()
+    ) >= 1
+
+
+class TestExhaustedBudget:
+    def test_engine_budget_exhaustion_keeps_provenance(
+        self, dm2td_inputs, chaos_seed
+    ):
+        """A fault outliving task_attempts propagates through the task
+        graph as the existing family (TaskFailedError) with the
+        injected fault in its cause chain."""
+        x1, x2, part, ranks = dm2td_inputs
+        plan = plan_of(
+            [FaultSpec(site="mapreduce.map", kind="raise",
+                       target="map-0", times=None, message="unhealable")],
+            seed=chaos_seed,
+        )
+        engine = LocalMapReduceEngine(2, task_attempts=2)
+        with use_injector(FaultInjector(plan)):
+            with pytest.raises(TaskFailedError) as excinfo:
+                distributed_m2td(x1, x2, part, ranks, engine=engine)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, FaultInjectionError)
+        assert cause.site == "mapreduce.map"
+        assert cause.target == "map-0"
+        assert cause.fault_id == "fault-0"
+        assert "unhealable" in str(cause)
+
+    def test_engine_alone_raises_fault_typed_error(self, chaos_seed):
+        from repro.distributed import MapReduceJob
+
+        plan = plan_of(
+            [FaultSpec(site="mapreduce.reduce", kind="raise",
+                       target="*", times=None)],
+            seed=chaos_seed,
+        )
+        job = MapReduceJob(
+            name="sum", reduce_fn=lambda k, vs: [(k, sum(vs))]
+        )
+        engine = LocalMapReduceEngine(task_attempts=3)
+        with use_injector(FaultInjector(plan)):
+            with pytest.raises(FaultInjectionError):
+                engine.run(job, [("k", 1), ("k", 2)])

@@ -1,0 +1,208 @@
+"""FaultInjector semantics: decisions, effects, accounting."""
+
+import pytest
+
+from repro.exceptions import FaultInjectionError, WorkerCrashError
+from repro.faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultSpec,
+    get_injector,
+    plan_of,
+    use_injector,
+)
+from repro.observability.metrics import MetricsRegistry, use_metrics
+
+
+def injector_of(*specs, seed=0):
+    return FaultInjector(plan_of(specs, seed=seed))
+
+
+class TestDecide:
+    def test_times_budget_is_consumed(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="t",
+                      times=2)
+        )
+        assert injector.decide("runtime.task", "t") is not None
+        assert injector.decide("runtime.task", "t") is not None
+        assert injector.decide("runtime.task", "t") is None
+
+    def test_after_skips_leading_events(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="t",
+                      after=2, times=1)
+        )
+        assert injector.decide("runtime.task", "t") is None
+        assert injector.decide("runtime.task", "t") is None
+        assert injector.decide("runtime.task", "t") is not None
+        assert injector.decide("runtime.task", "t") is None
+
+    def test_non_matching_target_untouched(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="other")
+        )
+        assert injector.decide("runtime.task", "t") is None
+        assert injector.records == []
+
+    def test_same_plan_same_seed_fires_identically(self):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind="raise", target="*",
+                       times=None, probability=0.4)],
+            seed=5,
+        )
+
+        def firing_pattern():
+            injector = FaultInjector(plan)
+            return [
+                injector.decide("runtime.task", f"task-{n}") is not None
+                for n in range(100)
+            ]
+
+        assert firing_pattern() == firing_pattern()
+
+    def test_injected_counter_ticks(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            injector = injector_of(
+                FaultSpec(site="runtime.task", kind="raise", target="t")
+            )
+            injector.decide("runtime.task", "t")
+        assert registry.counter("faults.injected").value == 1
+
+
+class TestFire:
+    def test_raise_kind(self):
+        injector = injector_of(
+            FaultSpec(site="mapreduce.map", kind="raise", target="map-0",
+                      message="chaos")
+        )
+        with pytest.raises(FaultInjectionError, match="chaos") as excinfo:
+            injector.fire("mapreduce.map", "map-0")
+        assert excinfo.value.site == "mapreduce.map"
+        assert excinfo.value.target == "map-0"
+        assert excinfo.value.fault_id == "fault-0"
+
+    def test_crash_kind_is_distinct_type(self):
+        injector = injector_of(
+            FaultSpec(site="mapreduce.map", kind="crash-worker",
+                      target="map-0")
+        )
+        with pytest.raises(WorkerCrashError):
+            injector.fire("mapreduce.map", "map-0")
+
+    def test_corrupt_kind_flips_file_bytes(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        injector = injector_of(
+            FaultSpec(site="cache.read", kind="corrupt", target="k")
+        )
+        assert injector.fire("cache.read", "k", path=path) is not None
+        assert path.read_bytes() != original
+        assert len(path.read_bytes()) == len(original)
+
+    def test_corrupt_kind_tolerates_missing_file(self, tmp_path):
+        injector = injector_of(
+            FaultSpec(site="cache.read", kind="corrupt", target="k")
+        )
+        decision = injector.fire(
+            "cache.read", "k", path=tmp_path / "nope.bin"
+        )
+        assert decision is not None  # decided, nothing to corrupt
+
+    def test_drop_output_returned_to_caller(self):
+        injector = injector_of(
+            FaultSpec(site="mapreduce.map", kind="drop-output",
+                      target="map-0")
+        )
+        decision = injector.fire("mapreduce.map", "map-0")
+        assert decision is not None and decision.kind == "drop-output"
+
+
+class TestWrapCallable:
+    def test_effect_fires_inside_the_callable(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="t")
+        )
+        wrapped = injector.wrap_callable("runtime.task", "t", lambda: 1)
+        # Decision already taken; the wrapper itself raises when run.
+        with pytest.raises(FaultInjectionError):
+            wrapped()
+
+    def test_no_decision_returns_fn_unchanged(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="other")
+        )
+        fn = lambda: 1  # noqa: E731
+        assert injector.wrap_callable("runtime.task", "t", fn) is fn
+
+    def test_wrapped_callable_survives_pickling(self):
+        import pickle
+
+        injector = injector_of(
+            FaultSpec(site="executor.submit", kind="crash-worker",
+                      target="process")
+        )
+        wrapped = injector.wrap_callable("executor.submit", "process", abs)
+        clone = pickle.loads(pickle.dumps(wrapped))
+        with pytest.raises(WorkerCrashError):
+            clone(-3)
+
+
+class TestRecovery:
+    def test_note_recovery_meters_counter_and_histogram(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            injector = injector_of(
+                FaultSpec(site="runtime.task", kind="raise", target="t")
+            )
+            injector.decide("runtime.task", "t")
+            injector.note_recovery("runtime.task", "t")
+        assert registry.counter("faults.recovered").value == 1
+        assert registry.histogram("faults.recovery_seconds").count == 1
+        record = injector.records[0]
+        assert record.recovered
+        assert record.recovery_seconds is not None
+        assert injector.summary() == {"injected": 1, "recovered": 1}
+
+    def test_note_recovery_without_pending_fault_is_noop(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            injector = injector_of(
+                FaultSpec(site="runtime.task", kind="raise", target="t")
+            )
+            injector.note_recovery("runtime.task", "t")
+        assert registry.counter("faults.recovered").value == 0
+
+    def test_delay_faults_never_pend_recovery(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="delay", target="t",
+                      delay_seconds=0.0)
+        )
+        injector.fire("runtime.task", "t")
+        injector.note_recovery("runtime.task", "t")
+        assert injector.summary() == {"injected": 1, "recovered": 0}
+
+
+class TestActiveInjector:
+    def test_default_is_null_injector(self):
+        assert get_injector() is NULL_INJECTOR
+        assert not get_injector().enabled
+
+    def test_use_injector_scopes_installation(self):
+        injector = injector_of(
+            FaultSpec(site="runtime.task", kind="raise", target="t")
+        )
+        with use_injector(injector) as active:
+            assert active is injector
+            assert get_injector() is injector
+        assert get_injector() is NULL_INJECTOR
+
+    def test_null_injector_is_inert(self):
+        assert NULL_INJECTOR.decide("runtime.task", "t") is None
+        assert NULL_INJECTOR.fire("runtime.task", "t") is None
+        fn = lambda: 1  # noqa: E731
+        assert NULL_INJECTOR.wrap_callable("runtime.task", "t", fn) is fn
+        assert NULL_INJECTOR.summary() == {"injected": 0, "recovered": 0}
+        assert NULL_INJECTOR.records == []

@@ -1,0 +1,119 @@
+"""Faults through the task-graph runtime: retry heals, exhaustion
+surfaces the fault's provenance through the existing exception family.
+"""
+
+import pytest
+
+from repro.exceptions import (
+    FaultInjectionError,
+    RetryExhaustedError,
+    TaskFailedError,
+    WorkerCrashError,
+)
+from repro.faults import FaultInjector, FaultSpec, plan_of, use_injector
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.runtime import Runtime, RetryPolicy, TaskGraph, output
+
+
+def two_task_graph():
+    graph = TaskGraph()
+    graph.add("first", lambda: 21)
+    graph.add("second", lambda x: x * 2, output("first"))
+    return graph
+
+
+RETRY_ONCE = RetryPolicy(max_attempts=2, backoff_seconds=0.0)
+
+
+class TestRecoveryWithinBudget:
+    @pytest.mark.parametrize("kind", ["raise", "crash-worker"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_single_fault_is_retried_and_metered(
+        self, kind, workers, chaos_seed
+    ):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind=kind, target="first",
+                       times=1)],
+            seed=chaos_seed,
+        )
+        registry = MetricsRegistry()
+        injector = FaultInjector(plan)
+        with use_metrics(registry), use_injector(injector):
+            with Runtime(workers=workers, default_retry=RETRY_ONCE) as rt:
+                outcome = rt.run(two_task_graph())
+        assert outcome["second"] == 42
+        assert injector.summary() == {"injected": 1, "recovered": 1}
+        assert registry.counter("faults.injected").value == 1
+        assert registry.counter("faults.recovered").value == 1
+        assert registry.histogram("faults.recovery_seconds").count == 1
+
+    def test_delay_fault_changes_timing_not_results(self, chaos_seed):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind="delay", target="first",
+                       delay_seconds=0.05)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+        with use_injector(injector):
+            with Runtime(workers=2) as rt:
+                outcome = rt.run(two_task_graph())
+        assert outcome["second"] == 42
+        assert injector.summary() == {"injected": 1, "recovered": 0}
+
+    def test_executor_submit_site(self, chaos_seed):
+        plan = plan_of(
+            [FaultSpec(site="executor.submit", kind="raise", target="*",
+                       times=1)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+        with use_injector(injector):
+            with Runtime(workers=2, default_retry=RETRY_ONCE) as rt:
+                outcome = rt.run(two_task_graph())
+        assert outcome["second"] == 42
+        assert injector.summary()["injected"] == 1
+
+
+class TestExhaustion:
+    def test_exhausted_retries_carry_fault_provenance(self, chaos_seed):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind="raise", target="first",
+                       times=None, message="persistent chaos")],
+            seed=chaos_seed,
+        )
+        with use_injector(FaultInjector(plan)):
+            with Runtime(workers=1, default_retry=RETRY_ONCE) as rt:
+                with pytest.raises(RetryExhaustedError) as excinfo:
+                    rt.run(two_task_graph())
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, FaultInjectionError)
+        assert cause.site == "runtime.task"
+        assert cause.target == "first"
+        assert cause.fault_id == "fault-0"
+        assert "persistent chaos" in str(excinfo.value)
+
+    def test_crash_without_retry_budget_fails_task(self, chaos_seed):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind="crash-worker",
+                       target="first")],
+            seed=chaos_seed,
+        )
+        with use_injector(FaultInjector(plan)):
+            with Runtime(workers=1) as rt:  # default: no retries
+                with pytest.raises(TaskFailedError) as excinfo:
+                    rt.run(two_task_graph())
+        assert isinstance(excinfo.value.__cause__, WorkerCrashError)
+
+    def test_worker_crash_is_retryable_like_any_failure(self, chaos_seed):
+        plan = plan_of(
+            [FaultSpec(site="runtime.task", kind="crash-worker",
+                       target="first", times=2)],
+            seed=chaos_seed,
+        )
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+        injector = FaultInjector(plan)
+        with use_injector(injector):
+            with Runtime(workers=1, default_retry=policy) as rt:
+                outcome = rt.run(two_task_graph())
+        assert outcome["second"] == 42
+        assert injector.summary() == {"injected": 2, "recovered": 1}

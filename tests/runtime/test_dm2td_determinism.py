@@ -1,0 +1,22 @@
+"""Runtime-scheduled D-M2TD must be byte-identical across pool widths.
+
+Uses the shared determinism harness from ``tests/conftest.py`` — the
+same check the MapReduce engine and the chaos suite run — so "the
+runtime does not perturb numerics" is asserted at the byte level, not
+via tolerances.
+"""
+
+from repro.distributed import distributed_m2td
+from repro.runtime import Runtime
+
+
+def test_runtime_scheduled_dm2td_identical_across_workers(
+    dm2td_inputs, assert_identical_across_workers
+):
+    x1, x2, part, ranks = dm2td_inputs
+
+    def run(workers):
+        with Runtime(workers=workers) as runtime:
+            return distributed_m2td(x1, x2, part, ranks, runtime=runtime)
+
+    assert_identical_across_workers(run)
