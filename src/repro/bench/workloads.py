@@ -358,6 +358,70 @@ def _build_store_slice(size: SizeSpec) -> PreparedWorkload:
     )
 
 
+# ----------------------------------------------------------------------
+# suite: serving — factor-space queries under concurrent clients
+# ----------------------------------------------------------------------
+def _serving_catalog(size: SizeSpec):
+    """A two-tenant catalog over the benchmark ensemble, bundles
+    pre-warmed so the timed body measures serving, not HOSVD."""
+    from ..serving import StudyCatalog
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-serving-")
+    catalog = StudyCatalog(directory)
+    n_modes = len(_study(size).space.shape)
+    for key, density in (("primary", 0.3), ("secondary", 0.15)):
+        catalog.register(
+            key, _sparse_sample(size, density=density),
+            ranks=_ranks(size, n_modes),
+        )
+        catalog.engine(key)  # warm both cache tiers
+    return catalog, directory
+
+
+def _serving_load(
+    kind: str,
+    n_clients: int,
+    queries_per_client: int,
+    batching: bool = True,
+) -> Callable[[SizeSpec], PreparedWorkload]:
+    def build(size: SizeSpec) -> PreparedWorkload:
+        from ..serving import run_load
+
+        catalog, directory = _serving_catalog(size)
+        return PreparedWorkload(
+            lambda: run_load(
+                catalog,
+                kind=kind,
+                n_clients=n_clients,
+                queries_per_client=queries_per_client,
+                batching=batching,
+                seed=size.seed,
+            ),
+            close=lambda: shutil.rmtree(directory, ignore_errors=True),
+        )
+
+    return build
+
+
+for _name, _kind, _clients, _queries, _batching, _desc in (
+    ("serving.point_c1", "point", 1, 100, True,
+     "factor-space point queries, one sequential client"),
+    ("serving.point_c100", "point", 100, 10, True,
+     "batched point queries under 100 concurrent clients"),
+    ("serving.point_c100_unbatched", "point", 100, 10, False,
+     "the batching control: same stream, one request per drain"),
+    ("serving.point_c10k", "point", 10_000, 1, True,
+     "batched point queries under 10k concurrent clients"),
+    ("serving.slice_c100", "slice", 100, 3, True,
+     "hyperplane queries under 100 concurrent clients"),
+    ("serving.topk_c20", "topk", 20, 1, True,
+     "top-k anomaly queries (residual scan) under 20 clients"),
+):
+    workload(_name, "serving", _desc)(
+        _serving_load(_kind, _clients, _queries, batching=_batching)
+    )
+
+
 def size_for(mode: str) -> SizeSpec:
     """The :class:`SizeSpec` for a mode name (``full`` / ``quick``)."""
     if mode == "full":

@@ -157,6 +157,51 @@ class WorkerCrashError(FaultInjectionError):
     """An injected fault simulating a crashed worker mid-task."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """Base class for failures in the decomposition-serving layer."""
+
+
+class StudyNotFoundError(ServingError):
+    """A query named a study the catalog has not registered."""
+
+    def __init__(self, study: str, known=()):
+        known = sorted(known)
+        detail = f"study {study!r} is not registered"
+        if known:
+            detail = f"{detail} (registered: {', '.join(known)})"
+        super().__init__(detail)
+        self.study = study
+        self.known = tuple(known)
+
+    def __reduce__(self):
+        return (self.__class__, (self.study, self.known))
+
+
+class QueryError(ServingError, ValueError):
+    """A serving query is malformed (bad index, mode, or k)."""
+
+
+class ServingOverloadError(ServingError):
+    """The server shed this request: its queue is at capacity.
+
+    Shedding is graceful-degradation by design — a bounded queue keeps
+    admitted requests' latency predictable, and callers get a typed
+    error they can back off on instead of an unbounded wait.
+    """
+
+    def __init__(self, study: str, depth: int, limit: int):
+        super().__init__(
+            f"study {study!r} queue is full ({depth} >= {limit}); "
+            "request shed"
+        )
+        self.study = study
+        self.depth = depth
+        self.limit = limit
+
+    def __reduce__(self):
+        return (self.__class__, (self.study, self.depth, self.limit))
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment runner was given an invalid configuration."""
 

@@ -34,6 +34,8 @@ SITES: Tuple[str, ...] = (
     "mapreduce.reduce",   # reduce tasks; target = e.g. "reduce-1"
     "cache.read",         # result-cache disk reads; target = fingerprint
     "storage.block-read",  # block store reads; target = "tensor/(i, j)"
+    "serving.query",       # serving requests; target = "study/kind"
+    "serving.factor-load",  # factor-bundle loads; target = study key
 )
 
 #: Fault kinds a spec may request.
@@ -53,7 +55,7 @@ _KIND_SITES: Dict[str, Tuple[str, ...]] = {
         "runtime.task", "executor.submit", "mapreduce.map",
         "mapreduce.reduce",
     ),
-    "corrupt": ("cache.read", "storage.block-read"),
+    "corrupt": ("cache.read", "storage.block-read", "serving.factor-load"),
     "drop-output": ("mapreduce.map",),
 }
 

@@ -28,6 +28,7 @@ storage         block-store put/get/slice I/O
 experiment      one CLI experiment run end to end
 runtime-task    task-graph metrics bridged from ``RuntimeReport``
 bench           one harness workload iteration (``repro.bench``)
+serving         factor-space queries, batch drains, bundle loads
 ==============  ======================================================
 
 This package imports nothing from the rest of ``repro`` so that every

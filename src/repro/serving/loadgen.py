@@ -1,0 +1,117 @@
+"""Deterministic in-process load generation for the serving layer.
+
+One driver shared by ``python -m repro.serving serve``, the
+``BENCH_serving.json`` suite, and the throughput tests, so the
+"N concurrent clients" being measured is the same thing everywhere:
+N asyncio tasks, each issuing its queries back-to-back against the
+in-process :class:`~repro.serving.server.ServingClient`, all inside
+one ``asyncio.run``.  Query coordinates are drawn from a seeded
+generator, so two runs at the same seed issue identical streams —
+batched-vs-unbatched comparisons measure batching, not luck.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ServingError, ServingOverloadError
+from .catalog import StudyCatalog
+from .server import ServingClient, ServingServer
+
+
+def _query_coords(
+    shapes: Dict[str, tuple], studies: Sequence[str],
+    n_clients: int, queries_per_client: int, seed: int,
+) -> List[List[tuple]]:
+    """Per-client query plans: ``(study, index)`` pairs, seeded."""
+    rng = np.random.default_rng(seed)
+    plans: List[List[tuple]] = []
+    for client in range(n_clients):
+        plan = []
+        for _ in range(queries_per_client):
+            study = studies[int(rng.integers(len(studies)))]
+            shape = shapes[study]
+            index = tuple(
+                int(rng.integers(size)) for size in shape
+            )
+            plan.append((study, index))
+        plans.append(plan)
+    return plans
+
+
+async def _drive(
+    server: ServingServer,
+    plans: List[List[tuple]],
+    kind: str,
+    topk_k: int,
+) -> Dict[str, int]:
+    client = ServingClient(server)
+    shed = 0
+    answered = 0
+
+    async def one_client(plan: List[tuple]) -> None:
+        nonlocal shed, answered
+        for study, index in plan:
+            try:
+                if kind == "point":
+                    await client.point(index, study=study)
+                elif kind == "slice":
+                    await client.slice(0, index[0], study=study)
+                elif kind == "topk":
+                    await client.topk(topk_k, study=study)
+                else:
+                    raise ServingError(f"unknown load kind {kind!r}")
+                answered += 1
+            except ServingOverloadError:
+                shed += 1
+
+    await asyncio.gather(*(one_client(plan) for plan in plans))
+    return {"answered": answered, "shed": shed}
+
+
+def run_load(
+    catalog: StudyCatalog,
+    studies: Optional[Sequence[str]] = None,
+    kind: str = "point",
+    n_clients: int = 100,
+    queries_per_client: int = 10,
+    batching: bool = True,
+    max_batch: int = 64,
+    max_queue: int = 1 << 20,
+    topk_k: int = 5,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Run one synchronous load session; returns the server summary.
+
+    The session is self-contained: server start, ``n_clients``
+    concurrent client tasks, graceful stop — so callers can time the
+    whole call as "the cost of serving this stream".
+    """
+    keys = list(studies) if studies else catalog.keys()
+    if not keys:
+        raise ServingError("catalog has no registered studies to load")
+    shapes = {key: catalog.entry(key).shape for key in keys}
+    plans = _query_coords(
+        shapes, keys, n_clients, queries_per_client, seed
+    )
+
+    async def session() -> Dict[str, object]:
+        async with ServingServer(
+            catalog, max_batch=max_batch, max_queue=max_queue,
+            batching=batching,
+        ) as server:
+            outcome = await _drive(server, plans, kind, topk_k)
+            summary = server.summary()
+        summary["load"] = {
+            "kind": kind,
+            "n_clients": n_clients,
+            "queries_per_client": queries_per_client,
+            "batching": batching,
+            **outcome,
+        }
+        return summary
+
+    return asyncio.run(session())

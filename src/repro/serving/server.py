@@ -1,0 +1,413 @@
+"""The asyncio serving front-end: batching, shedding, instrumentation.
+
+One :class:`ServingServer` fronts a :class:`~repro.serving.catalog.
+StudyCatalog`.  Every registered study gets its own request queue and
+worker task, so tenants never share a queue (matching the sharded
+store layout underneath).  The worker's drain loop is where batching
+happens: it blocks for the first request, then greedily drains
+whatever else has already queued (up to ``max_batch``) and coalesces
+all *point* requests in the drained run into **one** batched
+core×factor-rows contraction.  Under concurrent clients this turns N
+event-loop round-trips into N/``max_batch`` numpy calls — the
+batched-vs-unbatched benchmark in ``BENCH_serving.json`` measures
+exactly this win.
+
+Overload is shed, not queued: a request arriving at a full study queue
+fails immediately with the typed
+:class:`~repro.exceptions.ServingOverloadError`, keeping admitted
+requests' latency bounded.  Every stage is metered — queue wait,
+batch size, per-query latency (histograms ⇒ p50/p90/p99), shed and
+served counters, factor-cache hit rate — and the ``serving.query``
+fault-injection site fires per request so the chaos suite can drive
+raise/delay faults through the full client-visible path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    ReproError,
+    ServingError,
+    ServingOverloadError,
+)
+from ..faults.injector import get_injector
+from ..observability import get_metrics, span as _span
+from .catalog import StudyCatalog
+from .engine import _check_coords
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    """One queued query; ``future`` carries the answer back."""
+
+    kind: str                      # "point" | "slice" | "topk"
+    args: Tuple
+    future: "asyncio.Future[Any]"
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _StudyWorker:
+    """Queue + drain task for one tenant."""
+
+    queue: "asyncio.Queue[Any]"
+    task: "asyncio.Task[None]"
+    served: int = 0
+    batches: int = 0
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters one server accumulated (see also the
+    process metrics registry for histograms)."""
+
+    served: int = 0
+    shed: int = 0
+    batches: int = 0
+    points: int = 0
+    slices: int = 0
+    topks: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "batches": self.batches,
+            "points": self.points,
+            "slices": self.slices,
+            "topks": self.topks,
+            "errors": self.errors,
+        }
+
+
+class ServingServer:
+    """Async front-end answering queries from factors, never densely.
+
+    Parameters
+    ----------
+    catalog:
+        The study catalog to serve.
+    max_batch:
+        Most requests one drain run coalesces.
+    max_queue:
+        Per-study queue bound; arrivals beyond it are shed with
+        :class:`~repro.exceptions.ServingOverloadError`.
+    batching:
+        ``False`` degrades the drain loop to one request at a time —
+        the benchmark's unbatched control, not a production setting.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        catalog: StudyCatalog,
+        max_batch: int = 64,
+        max_queue: int = 4096,
+        batching: bool = True,
+    ):
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {max_queue}")
+        self.catalog = catalog
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.batching = batching
+        self.stats = ServerStats()
+        self._workers: Dict[str, _StudyWorker] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServingServer":
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Drain every queue, then stop the workers."""
+        self._started = False
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
+            await worker.queue.put(_SHUTDOWN)
+        for worker in workers:
+            await worker.task
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # public query API (the in-process client calls these)
+    # ------------------------------------------------------------------
+    async def point(self, study: str, index: Sequence[int]) -> float:
+        """One cell value from the study's factors."""
+        coords = _check_coords(
+            self.catalog.entry(study).shape, np.asarray(index)[None, :]
+        )
+        return float(await self._submit(study, "point", (coords[0],)))
+
+    async def point_many(
+        self, study: str, indices
+    ) -> List[float]:
+        """Many cells, enqueued individually (so they coalesce with
+        whatever else is in flight), gathered together."""
+        coords = _check_coords(self.catalog.entry(study).shape, indices)
+        return list(
+            await asyncio.gather(
+                *(self._submit(study, "point", (row,)) for row in coords)
+            )
+        )
+
+    async def slice(self, study: str, mode: int, index: int) -> np.ndarray:
+        """The dense hyperplane ``mode = index`` of the study."""
+        return await self._submit(study, "slice", (int(mode), int(index)))
+
+    async def topk(
+        self,
+        study: str,
+        k: int,
+        mode: Optional[int] = None,
+        index: Optional[int] = None,
+    ) -> List[Tuple[Tuple[int, ...], float, float, float]]:
+        """The study's k worst-explained simulated cells."""
+        return await self._submit(study, "topk", (int(k), mode, index))
+
+    # ------------------------------------------------------------------
+    # queue plumbing
+    # ------------------------------------------------------------------
+    def _worker_for(self, study: str) -> _StudyWorker:
+        worker = self._workers.get(study)
+        if worker is None:
+            self.catalog.entry(study)  # raises StudyNotFoundError early
+            queue: "asyncio.Queue[Any]" = asyncio.Queue()
+            task = asyncio.get_running_loop().create_task(
+                self._drain(study, queue)
+            )
+            worker = self._workers[study] = _StudyWorker(queue, task)
+        return worker
+
+    async def _submit(self, study: str, kind: str, args: Tuple) -> Any:
+        if not self._started:
+            raise ServingError("server is not started")
+        worker = self._worker_for(study)
+        if worker.queue.qsize() >= self.max_queue:
+            self.stats.shed += 1
+            get_metrics().counter("serving.shed").inc()
+            raise ServingOverloadError(
+                study, worker.queue.qsize(), self.max_queue
+            )
+        loop = asyncio.get_running_loop()
+        request = _Request(
+            kind=kind, args=args, future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        worker.queue.put_nowait(request)
+        return await request.future
+
+    async def _drain(self, study: str, queue: "asyncio.Queue[Any]") -> None:
+        """The per-study worker loop: block, greedily drain, serve."""
+        loop = asyncio.get_running_loop()
+        metrics = get_metrics()
+        while True:
+            first = await queue.get()
+            if first is _SHUTDOWN:
+                self._fail_pending(queue)
+                return
+            batch: List[_Request] = [first]
+            shutdown = False
+            if self.batching:
+                while len(batch) < self.max_batch:
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if item is _SHUTDOWN:
+                        shutdown = True
+                        break
+                    batch.append(item)
+            now = loop.time()
+            for request in batch:
+                metrics.histogram("serving.queue_wait_seconds").observe(
+                    now - request.enqueued_at
+                )
+            try:
+                self._serve_batch(study, batch, loop)
+            except Exception as exc:  # noqa: BLE001 — a worker must
+                # never die with futures in flight: clients would hang.
+                failure = ServingError(f"internal serving failure: {exc}")
+                failure.__cause__ = exc
+                for request in batch:
+                    if not request.future.done():
+                        self._resolve(request, error=failure, loop=loop)
+            # Let the clients whose futures just resolved run before
+            # the next drain — keeps latency flat under a full queue.
+            await asyncio.sleep(0)
+            if shutdown:
+                self._fail_pending(queue)
+                return
+
+    def _fail_pending(self, queue: "asyncio.Queue[Any]") -> None:
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is not _SHUTDOWN and not item.future.done():
+                item.future.set_exception(ServingError("server stopped"))
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _serve_batch(
+        self, study: str, batch: List[_Request], loop
+    ) -> None:
+        worker = self._workers.get(study)
+        if worker is not None:
+            worker.batches += 1
+            worker.served += len(batch)
+        self.stats.batches += 1
+        metrics = get_metrics()
+        metrics.histogram("serving.batch_size").observe(len(batch))
+        points = [r for r in batch if r.kind == "point"]
+        others = [r for r in batch if r.kind != "point"]
+        with _span(
+            "serving-batch", "serving", study=study, batch=len(batch),
+            points=len(points),
+        ):
+            engine = None
+            try:
+                injector = get_injector()
+                if injector.enabled:
+                    kinds = ",".join(
+                        sorted({r.kind for r in batch})
+                    )
+                    injector.fire("serving.query", f"{study}/{kinds}")
+                engine = self.catalog.engine(study)
+            except ReproError as exc:
+                for request in batch:
+                    self._resolve(request, error=exc, loop=loop)
+                return
+            if points:
+                coords = np.stack([r.args[0] for r in points])
+                try:
+                    values = engine.point_batch(coords)
+                except ReproError as exc:
+                    for request in points:
+                        self._resolve(request, error=exc, loop=loop)
+                else:
+                    self.stats.points += len(points)
+                    for request, value in zip(points, values):
+                        self._resolve(request, value=float(value), loop=loop)
+            for request in others:
+                try:
+                    value = self._serve_one(study, engine, request)
+                except ReproError as exc:
+                    self._resolve(request, error=exc, loop=loop)
+                else:
+                    self._resolve(request, value=value, loop=loop)
+
+    def _serve_one(self, study: str, engine, request: _Request) -> Any:
+        if request.kind == "slice":
+            mode, index = request.args
+            self.stats.slices += 1
+            return engine.slice(mode, index)
+        if request.kind == "topk":
+            k, mode, index = request.args
+            entry = self.catalog.entry(study)
+            store = self.catalog.store_for(study)
+            self.stats.topks += 1
+            return engine.topk_anomalies(
+                store, entry.tensor_name, k, mode=mode, index=index
+            )
+        raise ServingError(f"unknown request kind {request.kind!r}")
+
+    def _resolve(
+        self, request: _Request, loop, value: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        metrics = get_metrics()
+        metrics.histogram("serving.latency_seconds").observe(
+            loop.time() - request.enqueued_at
+        )
+        if request.future.done():  # pragma: no cover - cancelled client
+            return
+        if error is not None:
+            self.stats.errors += 1
+            metrics.counter("serving.errors").inc()
+            request.future.set_exception(error)
+        else:
+            self.stats.served += 1
+            metrics.counter("serving.served").inc()
+            request.future.set_result(value)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Operator-facing snapshot: server counters, per-study queue
+        state, factor-cache behaviour, latency percentiles."""
+        metrics = get_metrics()
+        latency = metrics.histogram("serving.latency_seconds")
+        return {
+            "stats": self.stats.as_dict(),
+            "studies": {
+                key: {
+                    "served": worker.served,
+                    "batches": worker.batches,
+                    "queue_depth": worker.queue.qsize(),
+                }
+                for key, worker in self._workers.items()
+            },
+            "hot_factors": self.catalog.hot_factors.stats.as_dict(),
+            "latency_seconds": {
+                "p50": latency.percentile(50),
+                "p90": latency.percentile(90),
+                "p99": latency.percentile(99),
+            },
+        }
+
+
+@dataclass
+class ServingClient:
+    """The in-process client: a thin, typed veneer over the server
+    used by tests, benchmarks, and the CLI."""
+
+    server: ServingServer
+    study: Optional[str] = field(default=None)
+
+    def _key(self, study: Optional[str]) -> str:
+        key = study or self.study
+        if not key:
+            raise ServingError("no study given and client has no default")
+        return key
+
+    async def point(self, index, study: Optional[str] = None) -> float:
+        return await self.server.point(self._key(study), index)
+
+    async def point_many(self, indices, study: Optional[str] = None):
+        return await self.server.point_many(self._key(study), indices)
+
+    async def slice(
+        self, mode: int, index: int, study: Optional[str] = None
+    ) -> np.ndarray:
+        return await self.server.slice(self._key(study), mode, index)
+
+    async def topk(
+        self, k: int, study: Optional[str] = None,
+        mode: Optional[int] = None, index: Optional[int] = None,
+    ):
+        return await self.server.topk(
+            self._key(study), k, mode=mode, index=index
+        )

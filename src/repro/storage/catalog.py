@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 from ..exceptions import StorageError
+from ..observability import get_metrics
 
 CATALOG_FILE = "catalog.json"
 
@@ -83,6 +84,13 @@ class Catalog:
         return name in self._entries
 
     def get(self, name: str) -> TensorEntry:
+        """One metered catalog lookup.
+
+        ``storage.catalog_lookups`` is the micro-benchmark guard's
+        handle: hot read paths (``get``/``slice_query``) must resolve
+        the entry once per *request*, never once per block.
+        """
+        get_metrics().counter("storage.catalog_lookups").inc()
         try:
             return self._entries[name]
         except KeyError:

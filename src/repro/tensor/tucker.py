@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..exceptions import RankError, ShapeError
-from ..observability import span as _span
+from ..observability import get_metrics, span as _span
 from .ops import frobenius_norm, relative_error
 from .sparse import SparseTensor
 from .svd import leading_left_singular_vectors
@@ -71,7 +71,13 @@ class TuckerTensor:
         return self.core.ndim
 
     def reconstruct(self) -> np.ndarray:
-        """Recompose ``G ×_1 U^(1) ×_2 ... ×_N U^(N)`` densely."""
+        """Recompose ``G ×_1 U^(1) ×_2 ... ×_N U^(N)`` densely.
+
+        Metered as ``tucker.reconstructs`` — the serving layer's whole
+        contract is answering queries with this counter at zero, and
+        its tests assert exactly that.
+        """
+        get_metrics().counter("tucker.reconstructs").inc()
         return multi_ttm(self.core, self.factors)
 
     def relative_error(self, reference: np.ndarray) -> float:

@@ -45,11 +45,16 @@ class TestRegistry:
             "kernel.hosvd", "kernel.st_hosvd", "kernel.hooi",
             "dm2td.workers1", "dm2td.workers2", "dm2td.workers4",
             "store.put", "store.get", "store.slice_query",
+            "serving.point_c1", "serving.point_c100",
+            "serving.point_c100_unbatched", "serving.point_c10k",
+            "serving.slice_c100", "serving.topk_c20",
         ):
             assert expected in names, expected
 
     def test_suites_cover_all_layers(self):
-        assert set(suites()) == {"m2td", "kernels", "distributed", "storage"}
+        assert set(suites()) == {
+            "m2td", "kernels", "distributed", "storage", "serving",
+        }
 
     def test_get_workloads_filters_and_sorts(self):
         kernels = get_workloads(["kernels"])

@@ -1,0 +1,150 @@
+"""Serving-layer chaos: corrupted bundles heal, query faults stay typed.
+
+The recovery property under test: a corrupted or missing on-disk
+factor bundle is *never served* — the cache's checksum quarantines it,
+the loader recomputes from the study's own block store, and the next
+answer is correct, with the recovery metered.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.faults import FaultInjector, FaultSpec, plan_of, use_injector
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.serving import ServingServer, StudyCatalog
+from repro.tensor import SparseTensor
+
+
+def _make_sparse(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    n = int(0.5 * np.prod(shape))
+    coords = np.unique(
+        rng.integers(0, shape, size=(n, len(shape))), axis=0
+    )
+    return SparseTensor(tuple(shape), coords, rng.standard_normal(coords.shape[0]))
+
+
+@pytest.fixture()
+def root(tmp_path):
+    """A catalog root with one study whose bundle is already on disk."""
+    catalog = StudyCatalog(tmp_path / "serving")
+    catalog.register(
+        "study", _make_sparse((6, 5, 4), seed=1), ranks=[3, 3, 3]
+    )
+    catalog.engine("study")  # computes + persists the bundle
+    return tmp_path / "serving"
+
+
+@pytest.fixture()
+def clean_value(root):
+    """The fault-free answer every chaos run must reproduce."""
+    return StudyCatalog(root).engine("study").point((1, 2, 3))
+
+
+class TestCorruptBundle:
+    def test_corrupt_bundle_is_quarantined_and_recomputed(
+        self, root, clean_value, chaos_seed
+    ):
+        plan = plan_of(
+            [FaultSpec(site="serving.factor-load", kind="corrupt",
+                       target="study", times=1)],
+            seed=chaos_seed,
+        )
+        registry = MetricsRegistry()
+        injector = FaultInjector(plan)
+        # fresh catalog: cold hot-tier, cold memory tier, warm disk tier
+        catalog = StudyCatalog(root)
+        with use_metrics(registry), use_injector(injector):
+            value = catalog.engine("study").point((1, 2, 3))
+        # the corrupted bundle was never served: the answer is the
+        # fault-free one, from a recomputed decomposition
+        assert value == pytest.approx(clean_value, abs=1e-12)
+        assert registry.counter("cache.corrupt_quarantined").value == 1
+        assert registry.counter("serving.bundles_computed").value == 1
+        assert registry.counter("faults.injected").value == 1
+        assert registry.counter("faults.recovered").value == 1
+        assert injector.summary() == {"injected": 1, "recovered": 1}
+        # the rotten file was moved aside, not deleted silently
+        assert list((root / "bundle-cache").glob("*.corrupt"))
+
+    def test_next_session_reserves_from_healed_cache(
+        self, root, clean_value, chaos_seed
+    ):
+        plan = plan_of(
+            [FaultSpec(site="serving.factor-load", kind="corrupt",
+                       target="study", times=1)],
+            seed=chaos_seed,
+        )
+        with use_injector(FaultInjector(plan)):
+            StudyCatalog(root).engine("study")
+        # after healing, a later fault-free session gets a disk hit
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            value = StudyCatalog(root).engine("study").point((1, 2, 3))
+        assert value == pytest.approx(clean_value, abs=1e-12)
+        assert registry.counter("serving.bundle_disk_hits").value == 1
+        assert registry.counter("serving.bundles_computed").value == 0
+
+
+class TestMissingBundle:
+    def test_missing_bundle_file_recomputes(self, root, clean_value):
+        for stale in (root / "bundle-cache").glob("*.npz"):
+            stale.unlink()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            value = StudyCatalog(root).engine("study").point((1, 2, 3))
+        assert value == pytest.approx(clean_value, abs=1e-12)
+        assert registry.counter("serving.bundles_computed").value == 1
+
+
+class TestQueryFaults:
+    def test_injected_query_fault_is_typed_and_isolated(
+        self, root, clean_value, chaos_seed
+    ):
+        """A raise fault fails one batch with the fault's provenance;
+        the worker survives and the next query is answered."""
+        import asyncio
+
+        plan = plan_of(
+            [FaultSpec(site="serving.query", kind="raise",
+                       target="study/*", times=1)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+
+        async def serve():
+            catalog = StudyCatalog(root)
+            async with ServingServer(catalog) as server:
+                with pytest.raises(FaultInjectionError) as excinfo:
+                    await server.point("study", (1, 2, 3))
+                assert excinfo.value.site == "serving.query"
+                value = await server.point("study", (1, 2, 3))
+                return server.stats, value
+
+        with use_injector(injector):
+            stats, value = asyncio.run(serve())
+        assert value == pytest.approx(clean_value, abs=1e-12)
+        assert stats.errors == 1
+        assert stats.served == 1
+        assert injector.summary()["injected"] == 1
+
+    def test_injected_delay_only_slows(self, root, clean_value, chaos_seed):
+        import asyncio
+
+        plan = plan_of(
+            [FaultSpec(site="serving.query", kind="delay",
+                       target="study/*", times=1, delay_seconds=0.05)],
+            seed=chaos_seed,
+        )
+        injector = FaultInjector(plan)
+
+        async def serve():
+            catalog = StudyCatalog(root)
+            async with ServingServer(catalog) as server:
+                return await server.point("study", (1, 2, 3))
+
+        with use_injector(injector):
+            value = asyncio.run(serve())
+        assert value == pytest.approx(clean_value, abs=1e-12)
+        assert injector.summary()["injected"] == 1

@@ -1,0 +1,31 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import StudyCatalog
+from repro.tensor import SparseTensor
+
+
+def make_sparse(shape, density=0.5, seed=0) -> SparseTensor:
+    """A random sparse tensor with unique coordinates."""
+    rng = np.random.default_rng(seed)
+    n = max(1, int(density * np.prod(shape)))
+    coords = np.unique(
+        rng.integers(0, shape, size=(n, len(shape))), axis=0
+    )
+    values = rng.standard_normal(coords.shape[0])
+    return SparseTensor(tuple(shape), coords, values)
+
+
+@pytest.fixture()
+def catalog(tmp_path) -> StudyCatalog:
+    """A two-tenant catalog: a 3-mode and a 4-mode study."""
+    cat = StudyCatalog(tmp_path / "serving")
+    cat.register("alpha", make_sparse((6, 5, 4), seed=1), ranks=[3, 3, 3])
+    cat.register(
+        "beta", make_sparse((4, 4, 3, 3), seed=2), ranks=[2, 2, 2, 2]
+    )
+    return cat

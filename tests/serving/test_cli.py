@@ -1,0 +1,106 @@
+"""``python -m repro.serving`` command surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import StudyCatalog
+from repro.serving.cli import main
+
+from .conftest import make_sparse
+
+
+@pytest.fixture()
+def root(tmp_path):
+    catalog = StudyCatalog(tmp_path / "root")
+    catalog.register(
+        "alpha", make_sparse((6, 5, 4), seed=1), ranks=[3, 3, 3]
+    )
+    catalog.register(
+        "beta", make_sparse((4, 4, 3, 3), seed=2), ranks=[2, 2, 2, 2]
+    )
+    return str(tmp_path / "root")
+
+
+def test_catalog_lists_studies(root, capsys):
+    assert main(["catalog", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "beta" in out
+    assert "6x5x4" in out
+
+
+def test_catalog_empty(tmp_path, capsys):
+    StudyCatalog(tmp_path / "fresh")
+    assert main(["catalog", "--root", str(tmp_path / "fresh")]) == 0
+    assert "no studies" in capsys.readouterr().out
+
+
+def test_query_point(root, capsys):
+    assert main(
+        ["query", "--root", root, "--study", "alpha", "point", "1,2,3"]
+    ) == 0
+    value = float(capsys.readouterr().out.strip())
+    expected = StudyCatalog(root).engine("alpha").point((1, 2, 3))
+    assert value == pytest.approx(expected, rel=1e-9)
+
+
+def test_query_slice(root, capsys):
+    assert main(
+        ["query", "--root", root, "--study", "alpha", "slice", "0", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "shape: (5, 4)" in out
+
+
+def test_query_topk(root, capsys):
+    assert main(
+        ["query", "--root", root, "--study", "beta", "topk", "3"]
+    ) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert "residual=" in lines[0]
+
+
+def test_query_errors_are_exit_code_2(root, capsys):
+    assert main(
+        ["query", "--root", root, "--study", "nope", "point", "0,0,0"]
+    ) == 2
+    assert "not registered" in capsys.readouterr().err
+    assert main(
+        ["query", "--root", root, "--study", "alpha", "point", "9,9,9"]
+    ) == 2
+    assert "out of bounds" in capsys.readouterr().err
+
+
+def test_serve_prints_summary(root, capsys):
+    assert main(
+        ["serve", "--root", root, "--clients", "10", "--queries", "3",
+         "--seed", "1"]
+    ) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["load"]["answered"] == 30
+    assert summary["stats"]["served"] == 30
+
+
+def test_serve_unbatched_control(root, capsys):
+    assert main(
+        ["serve", "--root", root, "--clients", "5", "--queries", "2",
+         "--no-batching"]
+    ) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["stats"]["batches"] == summary["stats"]["served"]
+
+
+def test_serve_with_metrics_export(root, tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert main(
+        ["serve", "--root", root, "--clients", "4", "--queries", "2",
+         "--metrics", str(metrics_path)]
+    ) == 0
+    capsys.readouterr()
+    # the export is the process-wide registry (shared across the test
+    # session), so assert presence and shape, not absolute values
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["serving.served"]["value"] >= 8
+    assert np.isfinite(metrics["serving.latency_seconds"]["p99"])

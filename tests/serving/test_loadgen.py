@@ -1,0 +1,105 @@
+"""run_load and the committed serving benchmark baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serving import StudyCatalog, run_load
+
+BASELINE = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "baselines"
+    / "BENCH_serving.json"
+)
+
+
+class TestRunLoad:
+    def test_answers_every_query(self, catalog):
+        summary = run_load(
+            catalog, n_clients=25, queries_per_client=4, seed=1
+        )
+        assert summary["load"]["answered"] == 100
+        assert summary["load"]["shed"] == 0
+        assert summary["stats"]["served"] == 100
+        assert summary["stats"]["errors"] == 0
+        # both tenants saw traffic
+        assert set(summary["studies"]) == {"alpha", "beta"}
+
+    def test_batched_coalesces_unbatched_does_not(self, catalog):
+        batched = run_load(
+            catalog, n_clients=50, queries_per_client=4, seed=2
+        )
+        unbatched = run_load(
+            catalog, n_clients=50, queries_per_client=4, seed=2,
+            batching=False,
+        )
+        assert batched["stats"]["served"] == unbatched["stats"]["served"]
+        assert unbatched["stats"]["batches"] == 200
+        assert batched["stats"]["batches"] < 100
+
+    def test_same_seed_same_stream(self, catalog):
+        a = run_load(catalog, n_clients=10, queries_per_client=3, seed=5)
+        b = run_load(catalog, n_clients=10, queries_per_client=3, seed=5)
+        assert (
+            a["studies"]["alpha"]["served"]
+            == b["studies"]["alpha"]["served"]
+        )
+
+    def test_slice_and_topk_kinds(self, catalog):
+        summary = run_load(
+            catalog, kind="slice", n_clients=5, queries_per_client=2,
+            seed=3,
+        )
+        assert summary["stats"]["slices"] == 10
+        summary = run_load(
+            catalog, kind="topk", n_clients=2, queries_per_client=1,
+            topk_k=2, seed=4,
+        )
+        assert summary["stats"]["topks"] == 2
+
+    def test_empty_catalog(self, tmp_path):
+        with pytest.raises(ServingError, match="no registered studies"):
+            run_load(StudyCatalog(tmp_path / "empty"))
+
+    def test_unknown_kind(self, catalog):
+        with pytest.raises(ServingError, match="unknown load kind"):
+            run_load(catalog, kind="scan", n_clients=1,
+                     queries_per_client=1)
+
+
+class TestCommittedBaseline:
+    """The acceptance criterion is pinned against the committed
+    artifact: batched point-query throughput at 100 concurrent clients
+    must be at least 3x the unbatched control."""
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        assert BASELINE.exists(), "run: python -m repro.bench run --quick"
+        document = json.loads(BASELINE.read_text())
+        assert document["suite"] == "serving"
+        return {w["name"]: w for w in document["workloads"]}
+
+    def test_batched_at_least_3x_unbatched_at_c100(self, workloads):
+        batched = workloads["serving.point_c100"]
+        control = workloads["serving.point_c100_unbatched"]
+        # identical streams (same size spec and seed), so throughput
+        # ratio is inverse median wall time
+        speedup = (
+            control["wall_seconds"]["median"]
+            / batched["wall_seconds"]["median"]
+        )
+        assert speedup >= 3.0, f"batched speedup only {speedup:.2f}x"
+
+    def test_full_concurrency_ladder_present(self, workloads):
+        for name in (
+            "serving.point_c1",
+            "serving.point_c100",
+            "serving.point_c10k",
+            "serving.slice_c100",
+            "serving.topk_c20",
+        ):
+            assert name in workloads
+            assert workloads[name]["wall_seconds"]["median"] > 0

@@ -1,0 +1,206 @@
+"""ServingServer: correctness, batching, shedding, multi-tenancy.
+
+The acceptance test for the whole subsystem lives here:
+``test_two_studies_zero_reconstructions`` serves point/slice/top-k for
+two concurrently registered studies and asserts the
+``tucker.reconstructs`` counter never moved.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    QueryError,
+    ServingError,
+    ServingOverloadError,
+    StudyNotFoundError,
+)
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.serving import ServingClient, ServingServer
+
+
+def test_two_studies_zero_reconstructions(catalog):
+    """Acceptance: queries for >= 2 concurrent studies, and the dense
+    reconstruction counter stays at exactly zero."""
+    registry = MetricsRegistry()
+
+    async def serve():
+        async with ServingServer(catalog) as server:
+            points = await asyncio.gather(
+                server.point("alpha", (1, 2, 3)),
+                server.point("beta", (0, 1, 2, 0)),
+                server.point("alpha", (5, 4, 0)),
+                server.point("beta", (3, 3, 2, 2)),
+            )
+            slices = await asyncio.gather(
+                server.slice("alpha", 0, 2),
+                server.slice("beta", 1, 3),
+            )
+            topks = await asyncio.gather(
+                server.topk("alpha", 3),
+                server.topk("beta", 2),
+            )
+        return points, slices, topks
+
+    with use_metrics(registry):
+        points, slices, topks = asyncio.run(serve())
+        assert registry.counter("tucker.reconstructs").value == 0
+
+    # correctness checked against the dense tensor *after* the guard
+    full_alpha = catalog.engine("alpha").tucker.reconstruct()
+    full_beta = catalog.engine("beta").tucker.reconstruct()
+    assert points[0] == pytest.approx(full_alpha[1, 2, 3], abs=1e-10)
+    assert points[1] == pytest.approx(full_beta[0, 1, 2, 0], abs=1e-10)
+    assert points[2] == pytest.approx(full_alpha[5, 4, 0], abs=1e-10)
+    assert points[3] == pytest.approx(full_beta[3, 3, 2, 2], abs=1e-10)
+    assert np.allclose(slices[0], full_alpha[2], atol=1e-10)
+    assert np.allclose(slices[1], full_beta[:, 3], atol=1e-10)
+    assert len(topks[0]) == 3 and len(topks[1]) == 2
+
+
+class TestBatching:
+    def test_concurrent_points_coalesce(self, catalog):
+        registry = MetricsRegistry()
+
+        async def serve():
+            async with ServingServer(catalog, max_batch=64) as server:
+                client = ServingClient(server, study="alpha")
+                rng = np.random.default_rng(0)
+                coords = [
+                    tuple(int(rng.integers(s)) for s in (6, 5, 4))
+                    for _ in range(200)
+                ]
+                values = await asyncio.gather(
+                    *(client.point(c) for c in coords)
+                )
+                return server.stats, coords, values
+
+        with use_metrics(registry):
+            stats, coords, values = asyncio.run(serve())
+        # far fewer numpy calls than requests
+        assert stats.served == 200
+        assert stats.batches < stats.served / 2
+        assert registry.histogram("serving.batch_size").max > 1
+        full = catalog.engine("alpha").tucker.reconstruct()
+        for coord, value in zip(coords, values):
+            assert value == pytest.approx(full[coord], abs=1e-10)
+
+    def test_unbatched_control_serves_one_by_one(self, catalog):
+        async def serve():
+            async with ServingServer(catalog, batching=False) as server:
+                await asyncio.gather(
+                    *(server.point("alpha", (i % 6, 0, 0)) for i in range(40))
+                )
+                return server.stats
+
+        stats = asyncio.run(serve())
+        assert stats.served == 40
+        assert stats.batches == 40
+
+    def test_max_batch_respected(self, catalog):
+        registry = MetricsRegistry()
+
+        async def serve():
+            async with ServingServer(catalog, max_batch=8) as server:
+                await asyncio.gather(
+                    *(server.point("alpha", (i % 6, 0, 0)) for i in range(100))
+                )
+
+        with use_metrics(registry):
+            asyncio.run(serve())
+        assert registry.histogram("serving.batch_size").max <= 8
+
+    def test_point_many_matches_individual(self, catalog):
+        async def serve():
+            async with ServingServer(catalog) as server:
+                indices = [(0, 0, 0), (5, 4, 3), (2, 2, 2)]
+                many = await server.point_many("alpha", indices)
+                single = [
+                    await server.point("alpha", index) for index in indices
+                ]
+                return many, single
+
+        many, single = asyncio.run(serve())
+        assert many == pytest.approx(single, abs=1e-12)
+
+
+class TestOverload:
+    def test_flood_is_shed_with_typed_error(self, catalog):
+        async def serve():
+            async with ServingServer(catalog, max_queue=4) as server:
+                results = await asyncio.gather(
+                    *(server.point("alpha", (0, 0, 0)) for _ in range(50)),
+                    return_exceptions=True,
+                )
+                return server.stats, results
+
+        stats, results = asyncio.run(serve())
+        shed = [r for r in results if isinstance(r, ServingOverloadError)]
+        served = [r for r in results if isinstance(r, float)]
+        assert shed and served
+        assert len(shed) == stats.shed
+        assert len(served) == stats.served
+        assert shed[0].study == "alpha"
+        assert shed[0].limit == 4
+
+
+class TestErrors:
+    def test_unknown_study(self, catalog):
+        async def serve():
+            async with ServingServer(catalog) as server:
+                await server.point("nope", (0, 0, 0))
+
+        with pytest.raises(StudyNotFoundError):
+            asyncio.run(serve())
+
+    def test_bad_index_rejected_at_submit(self, catalog):
+        async def serve():
+            async with ServingServer(catalog) as server:
+                with pytest.raises(QueryError):
+                    await server.point("alpha", (9, 9, 9))
+                with pytest.raises(QueryError):
+                    await server.slice("alpha", 7, 0)
+                # the worker survives bad requests
+                return await server.point("alpha", (0, 0, 0))
+
+        assert isinstance(asyncio.run(serve()), float)
+
+    def test_not_started(self, catalog):
+        server = ServingServer(catalog)
+
+        async def query():
+            await server.point("alpha", (0, 0, 0))
+
+        with pytest.raises(ServingError, match="not started"):
+            asyncio.run(query())
+
+    def test_bad_configuration(self, catalog):
+        with pytest.raises(ServingError, match="max_batch"):
+            ServingServer(catalog, max_batch=0)
+        with pytest.raises(ServingError, match="max_queue"):
+            ServingServer(catalog, max_queue=0)
+
+    def test_client_needs_a_study(self, catalog):
+        async def serve():
+            async with ServingServer(catalog) as server:
+                client = ServingClient(server)
+                with pytest.raises(ServingError, match="no study"):
+                    await client.point((0, 0, 0))
+
+        asyncio.run(serve())
+
+
+def test_summary_shape(catalog):
+    async def serve():
+        async with ServingServer(catalog) as server:
+            await server.point("alpha", (0, 0, 0))
+            await server.point("beta", (0, 0, 0, 0))
+            return server.summary()
+
+    summary = asyncio.run(serve())
+    assert summary["stats"]["served"] == 2
+    assert set(summary["studies"]) == {"alpha", "beta"}
+    assert summary["hot_factors"]["hit_rate"] >= 0.0
+    assert set(summary["latency_seconds"]) == {"p50", "p90", "p99"}

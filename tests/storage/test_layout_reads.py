@@ -1,0 +1,65 @@
+"""Micro-benchmark guard: one catalog/layout resolution per request.
+
+``slice_query`` / ``get`` / ``iter_blocks`` resolve the tensor's
+catalog entry and blocked layout once and reuse them for every block
+they read.  The guard is the ``storage.catalog_lookups`` counter — a
+regression that reintroduces per-block resolution multiplies it by the
+block count, which these tests pin without timing anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.storage import BlockTensorStore
+from repro.tensor import SparseTensor
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = BlockTensorStore(tmp_path / "db")
+    dense = np.arange(512, dtype=float).reshape(8, 8, 8) + 1.0
+    # 2x2x2 blocks -> 64 blocks, so per-block re-resolution would be
+    # loud in the counter
+    store.put("t", SparseTensor.from_dense(dense), block_shape=(2, 2, 2))
+    return store
+
+
+def _lookups(registry: MetricsRegistry) -> int:
+    return int(registry.counter("storage.catalog_lookups").value)
+
+
+class TestSingleLayoutRead:
+    def test_slice_query_is_one_lookup(self, store):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            sparse = store.slice_query("t", mode=0, index=3)
+        assert sparse.nnz == 64
+        assert _lookups(registry) == 1
+
+    def test_get_is_one_lookup(self, store):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            tensor = store.get("t")
+        assert tensor.nnz == 512
+        assert _lookups(registry) == 1
+
+    def test_iter_blocks_is_one_lookup(self, store):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            blocks = list(store.iter_blocks("t"))
+        assert len(blocks) == 64
+        assert _lookups(registry) == 1
+
+    def test_get_block_is_one_lookup(self, store):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            store.get_block("t", (0, 0, 0))
+        assert _lookups(registry) == 1
+
+    def test_lookups_scale_with_requests_not_blocks(self, store):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            for index in range(8):
+                store.slice_query("t", mode=1, index=index)
+        assert _lookups(registry) == 8
