@@ -25,6 +25,9 @@ def m2td_concat(
     join_kind: str = "join",
     lazy: bool = False,
     zero_join_candidates: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    method: str = "exact",
+    keep_probability: float = 0.5,
+    seed=None,
 ) -> M2TDResult:
     """Decompose the stitched ensemble with the CONCAT pivot combiner."""
     return m2td_decompose(
@@ -36,4 +39,7 @@ def m2td_concat(
         join_kind=join_kind,
         lazy=lazy,
         zero_join_candidates=zero_join_candidates,
+        method=method,
+        keep_probability=keep_probability,
+        seed=seed,
     )

@@ -63,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk content-addressed cache; repeated invocations "
         "reuse ground-truth tensors instead of re-simulating",
     )
+    parser.add_argument(
+        "--method",
+        choices=("exact", "sketched", "gram"),
+        default="exact",
+        help="decomposition kernel for the M2TD schemes: exact SVD "
+        "(default), MACH-sketched entry subsampling, or the "
+        "Gram-matrix fast path",
+    )
+    parser.add_argument(
+        "--keep-probability",
+        type=float,
+        default=0.5,
+        help="MACH keep probability for --method sketched "
+        "(1.0 short-circuits to exact; default 0.5)",
+    )
     add_observability_args(parser)
     add_fault_args(parser)
     return parser
@@ -75,6 +90,15 @@ def main(argv=None) -> int:
             print(experiment_id)
         return 0
     config = quick_config() if args.quick else default_config()
+    if args.method != "exact" or args.keep_probability != 0.5:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            method=args.method,
+            keep_probability=args.keep_probability,
+        )
+        config.validate()
     if args.all:
         targets = available_experiments()
     elif args.experiments:

@@ -42,6 +42,11 @@ class ExperimentConfig:
         The reduced-budget setting of Table V.
     seed:
         Base RNG seed for all sampling.
+    method / keep_probability:
+        Decomposition kernel for the M2TD schemes: ``"exact"``
+        (default), ``"sketched"`` (MACH subsampling at
+        ``keep_probability``), or ``"gram"``.  Threaded from the CLI's
+        ``--method`` / ``--keep-probability`` flags.
     """
 
     resolutions: Tuple[int, ...] = (8, 10, 12)
@@ -60,6 +65,8 @@ class ExperimentConfig:
     budget_fraction_low: float = 0.1
     pivots: Tuple[str, ...] = ("t", "phi1", "phi2", "m1", "m2")
     seed: int = 7
+    method: str = "exact"
+    keep_probability: float = 0.5
 
     def validate(self) -> None:
         if self.default_resolution < 4:
@@ -68,6 +75,15 @@ class ExperimentConfig:
             raise ExperimentError("default_rank must be >= 1")
         if not self.resolutions or not self.ranks:
             raise ExperimentError("resolutions and ranks must be non-empty")
+        if self.method not in ("exact", "sketched", "gram"):
+            raise ExperimentError(
+                f"unknown decomposition method {self.method!r}"
+            )
+        if not 0.0 < self.keep_probability <= 1.0:
+            raise ExperimentError(
+                "keep_probability must be in (0, 1], got "
+                f"{self.keep_probability}"
+            )
 
 
 def default_config() -> ExperimentConfig:

@@ -29,7 +29,11 @@ def run(
     )
     for system_name in config.systems:
         study = cache.study(system_name, config.default_resolution)
-        results = run_all_schemes(study, config.default_rank, seed=config.seed)
+        results = run_all_schemes(
+            study, config.default_rank, seed=config.seed,
+            method=config.method,
+            keep_probability=config.keep_probability,
+        )
         accuracy_report.add_row(
             system_name, *(float(results[s].accuracy) for s in ALL_SCHEMES)
         )

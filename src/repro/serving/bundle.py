@@ -105,16 +105,24 @@ def compute_bundle(
     """Decompose a study's stored ensemble into a fresh bundle.
 
     Ranks are clipped per mode (scenario-zoo studies register uniform
-    ranks that small modes may not support).
+    ranks that small modes may not support).  ``method="gram"`` uses
+    the Gram-matrix ST-HOSVD, which never densifies the stored sparse
+    ensemble (``tensor.dense_unfolds`` stays 0 through the whole
+    serving path — pinned by the serving guard tests).
     """
-    if method != "hosvd":
+    if method not in ("hosvd", "gram"):
         raise ServingError(
-            f"unknown bundle method {method!r} (only 'hosvd' today)"
+            f"unknown bundle method {method!r} (use 'hosvd' or 'gram')"
         )
     with _span("serving-bundle-compute", "serving", study=study):
         tensor = store.get(entry.name)
         clipped = clip_ranks(tensor.shape, ranks)
-        tucker = hosvd(tensor, clipped)
+        if method == "gram":
+            from ..tensor.gram import gram_st_hosvd
+
+            tucker = gram_st_hosvd(tensor, clipped)
+        else:
+            tucker = hosvd(tensor, clipped)
         get_metrics().counter("serving.bundles_computed").inc()
         return FactorBundle(
             study=study,

@@ -4,47 +4,96 @@ Tsourakakis's MACH (paper reference [31]) speeds up Tucker
 decomposition of a large tensor by keeping each entry independently
 with probability ``p`` (scaled by ``1/p``) and decomposing the sparse
 sketch; concentration arguments bound the spectral error.  The paper
-cites it as a scalable-decomposition alternative; this implementation
-lets the harness compare "sparsify then decompose" against the
-partition-stitch pipeline on equal terms.
+cites it as a scalable-decomposition alternative; here it backs the
+opt-in ``method="sketched"`` fast path of the Tucker kernels and the
+M2TD variants, with :func:`sketch_curve` recording the
+accuracy-vs-speed trade-off at each rung of
+:data:`KEEP_PROBABILITY_SCHEDULE`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+import time
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
-from ..exceptions import RankError, ShapeError
+from ..exceptions import ShapeError, SketchError
+from ..observability import get_metrics, span as _span
 from .random import SeedLike, make_rng
 from .sparse import SparseTensor
 from .tucker import TuckerTensor, hosvd, validate_ranks
 
 TensorLike = Union[np.ndarray, SparseTensor]
 
+#: The keep-probability ladder the bench harness and
+#: :func:`sketch_curve` sweep: from "practically exact" down to the
+#: aggressive end where MACH's concentration bounds start to fray for
+#: small ensembles.  1.0 is deliberately included — the kernels
+#: short-circuit it to the exact path, so the curve always has an
+#: exact anchor point.
+KEEP_PROBABILITY_SCHEDULE: Sequence[float] = (1.0, 0.75, 0.5, 0.25, 0.1)
+
 
 def sparsify(
     tensor: TensorLike, keep_probability: float, seed: SeedLike = None
 ) -> SparseTensor:
     """Keep each entry with probability ``p``, scaling survivors by
-    ``1/p`` (an unbiased sketch of the input)."""
+    ``1/p`` (an unbiased sketch of the input).
+
+    Raises
+    ------
+    SketchError
+        If the input had stored entries but the sketch dropped every
+        one of them — an empty sketch has no computable factor
+        subspaces, and feeding it onward would surface as a confusing
+        rank failure deep inside HOSVD.  Callers that prefer graceful
+        degradation catch this and fall back to the exact kernel
+        (``method="sketched"`` dispatch does exactly that).
+    """
     if not 0.0 < keep_probability <= 1.0:
         raise ShapeError(
             f"keep_probability must be in (0, 1], got {keep_probability}"
         )
     rng = make_rng(seed)
-    if isinstance(tensor, SparseTensor):
-        keep = rng.random(tensor.nnz) < keep_probability
-        return SparseTensor(
-            tensor.shape,
-            tensor.coords[keep],
-            tensor.values[keep] / keep_probability,
-        )
-    dense = np.asarray(tensor, dtype=np.float64)
-    keep = rng.random(dense.shape) < keep_probability
-    coords = np.argwhere(keep)
-    values = dense[keep] / keep_probability
-    return SparseTensor(dense.shape, coords, values)
+    with _span("sparsify", "sketch", shape=tensor.shape,
+               keep_probability=keep_probability):
+        if isinstance(tensor, SparseTensor):
+            had_entries = tensor.nnz > 0
+            keep = rng.random(tensor.nnz) < keep_probability
+            sketch = SparseTensor(
+                tensor.shape,
+                tensor.coords[keep],
+                tensor.values[keep] / keep_probability,
+            )
+        else:
+            dense = np.asarray(tensor, dtype=np.float64)
+            had_entries = dense.size > 0
+            keep = rng.random(dense.shape) < keep_probability
+            coords = np.argwhere(keep)
+            values = dense[keep] / keep_probability
+            sketch = SparseTensor(dense.shape, coords, values)
+        if had_entries and sketch.nnz == 0:
+            raise SketchError(
+                f"sketch at keep_probability={keep_probability} dropped "
+                "every entry; raise keep_probability or change the seed"
+            )
+        get_metrics().counter("tensor.sketches").inc()
+        return sketch
+
+
+def suggested_keep_probability(tensor: TensorLike) -> float:
+    """MACH's guidance ``p = Omega(log n / sqrt(n))`` on the largest
+    mode, clamped into the schedule's range.
+
+    A heuristic, not a guarantee — use :func:`sketch_curve` to check
+    the accuracy actually achieved on a given ensemble.
+    """
+    n = max(int(s) for s in tensor.shape)
+    if n <= 1:
+        return 1.0
+    p = float(np.log(n) / np.sqrt(n))
+    return float(min(1.0, max(min(KEEP_PROBABILITY_SCHEDULE), p)))
 
 
 def mach_tucker(
@@ -67,13 +116,14 @@ def mach_tucker(
         ``(0, 1]`` runs.
     seed:
         Seed for the Bernoulli sampling.
+
+    Raises
+    ------
+    SketchError
+        If the sketch dropped every stored entry (see :func:`sparsify`).
     """
     ranks = validate_ranks(tensor.shape, ranks)
     sketch = sparsify(tensor, keep_probability, seed=seed)
-    if sketch.nnz == 0:
-        raise RankError(
-            "MACH sketch is empty; raise keep_probability or the seed"
-        )
     return hosvd(sketch, ranks)
 
 
@@ -95,3 +145,52 @@ def mach_error_vs_exact(
     if denom == 0:
         return 0.0
     return float(np.linalg.norm((sketched - exact).ravel()) / denom)
+
+
+def sketch_curve(
+    tensor: TensorLike,
+    ranks: Sequence[int],
+    probabilities: Sequence[float] = KEEP_PROBABILITY_SCHEDULE,
+    seed: SeedLike = 0,
+    reference: np.ndarray = None,
+) -> List[Dict[str, float]]:
+    """Record the accuracy-vs-speed curve of sketched HOSVD.
+
+    For each keep probability the sketch+decompose wall time and the
+    relative Frobenius error of the reconstruction against
+    ``reference`` (the dense input by default) are measured.  Returns
+    one ``{"keep_probability", "seconds", "relative_error"}`` row per
+    probability — the raw material for docs/kernels.md trade-off
+    tables and the ``kernel.sketched.*`` workloads.
+    """
+    from .ops import relative_error  # local: ops imports nothing heavy
+
+    if reference is None:
+        reference = (
+            tensor.to_dense()
+            if isinstance(tensor, SparseTensor)
+            else np.asarray(tensor, dtype=np.float64)
+        )
+    rows: List[Dict[str, float]] = []
+    for p in probabilities:
+        start = time.perf_counter()
+        if p >= 1.0:
+            decomposition = hosvd(tensor, ranks)
+        else:
+            try:
+                decomposition = mach_tucker(
+                    tensor, ranks, keep_probability=p, seed=seed
+                )
+            except SketchError:
+                continue
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "keep_probability": float(p),
+                "seconds": float(elapsed),
+                "relative_error": float(
+                    relative_error(decomposition.reconstruct(), reference)
+                ),
+            }
+        )
+    return rows

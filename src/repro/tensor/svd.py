@@ -93,11 +93,13 @@ def truncated_svd(
             order = np.argsort(s)[::-1]
             u, s, vt = u[:, order], s[order], vt[order]
         else:
-            dense = (
-                matrix.toarray()
-                if is_sparse
-                else np.asarray(matrix, dtype=np.float64)
-            )
+            if is_sparse:
+                # A sparse matricization is being materialized densely;
+                # the Gram kernels exist to keep this counter at zero.
+                metrics.counter("tensor.dense_unfolds").inc()
+                dense = matrix.toarray()
+            else:
+                dense = np.asarray(matrix, dtype=np.float64)
             u, s, vt = np.linalg.svd(dense, full_matrices=False)
             u, s, vt = u[:, :rank], s[:rank], vt[:rank]
         u = np.array(u, dtype=np.float64, copy=True)
@@ -108,12 +110,70 @@ def truncated_svd(
         return u, s, vt
 
 
+#: Width ratio past which the Gram route beats a full LAPACK SVD: for
+#: an (m, n) matricization with n >> m, eigendecomposing the (m, m)
+#: Gram matrix skips the O(m·n) right-singular-vector computation the
+#: caller throws away.
+GRAM_ASPECT = 4
+
+
+def gram_left_singular_vectors(gram: np.ndarray, rank: int) -> np.ndarray:
+    """Leading left singular vectors from a Gram matrix ``X X^T``.
+
+    The left singular vectors of ``X`` are the eigenvectors of its
+    Gram matrix ordered by decreasing eigenvalue; signs are normalized
+    with the same largest-|entry|-positive convention as
+    :func:`truncated_svd`, so the two routes agree up to the usual
+    ``eps * kappa^2`` eigenvector perturbation.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    rank = _validate_rank(gram.shape, rank)
+    _w, vectors = np.linalg.eigh(gram)
+    # eigh orders ascending; the leading singular vectors are the last
+    # ``rank`` columns, reversed.
+    return deterministic_signs(vectors[:, : -rank - 1 : -1])
+
+
+def gram_singular_pairs(
+    gram: np.ndarray, rank: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(U, s)`` — leading left singular vectors *and* singular values
+    recovered from a Gram matrix ``X X^T``.
+
+    The singular values are the square roots of the eigenvalues
+    (clipped at zero against roundoff), which the M2TD pivot combiners
+    (AVG's width trimming, SELECT's row-energy comparison) need
+    alongside the vectors.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    rank = _validate_rank(gram.shape, rank)
+    w, vectors = np.linalg.eigh(gram)
+    take = slice(-1, -rank - 1, -1)
+    s = np.sqrt(np.clip(w[take], 0.0, None))
+    return deterministic_signs(vectors[:, take]), s
+
+
 def leading_left_singular_vectors(matrix: MatrixLike, rank: int) -> np.ndarray:
     """The ``rank`` leading left singular vectors, deterministic signs.
 
     This is the exact primitive the paper's pseudocode calls
-    ``r_n leading left singular vectors of X_(n)``.
+    ``r_n leading left singular vectors of X_(n)``.  Dense wide
+    matricizations (``n >= GRAM_ASPECT * m``) take the Gram route —
+    same subspace, none of the right-singular-vector work — which is
+    what roughly halves the dense HOSVD/ST-HOSVD kernels; everything
+    else (square-ish or sparse inputs) keeps the proven SVD path
+    bit-for-bit.
     """
+    rank = _validate_rank(matrix.shape, rank)
+    m, n = matrix.shape
+    if not sps.issparse(matrix) and n >= GRAM_ASPECT * m:
+        metrics = get_metrics()
+        metrics.counter("svd.calls").inc()
+        metrics.counter("svd.gram_fastpath").inc()
+        metrics.histogram("svd.rank").observe(rank)
+        with _span("gram-svd", "decompose", shape=matrix.shape, rank=rank):
+            dense = np.asarray(matrix, dtype=np.float64)
+            return gram_left_singular_vectors(dense @ dense.T, rank)
     u, _s, _vt = truncated_svd(matrix, rank)
     return u
 

@@ -1,0 +1,138 @@
+"""Sketched and Gram M2TD on the golden study.
+
+Two walls around the opt-in kernels at the M2TD level:
+
+* keep_probability=1.0 is a no-op — every variant's decomposition is
+  byte-identical to the exact method, so nothing silently drifts when
+  users flip ``--method sketched`` with a full keep probability;
+* keep_probability=0.5 on the res-6 seed-7 double-pendulum study stays
+  inside the committed RMSE envelope
+  (``benchmarks/envelopes/SKETCH_RMSE_ENVELOPE.json``), whose schema is
+  itself checked so a hand-edited envelope cannot rot unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import KernelError
+
+ENVELOPE_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "envelopes" / "SKETCH_RMSE_ENVELOPE.json"
+)
+
+VARIANTS = ("avg", "concat", "select")
+SEED = 7
+RANK = 3
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    with ENVELOPE_PATH.open() as handle:
+        return json.load(handle)
+
+
+def _ranks(study):
+    return [RANK] * study.space.n_modes
+
+
+def _rmse(study, result):
+    """Reconstruction RMSE recovered from the paper's accuracy metric:
+    accuracy = 1 - ||approx - truth|| / ||truth||."""
+    truth = study.truth
+    return (
+        (1.0 - result.accuracy)
+        * np.linalg.norm(truth.ravel())
+        / np.sqrt(truth.size)
+    )
+
+
+class TestEnvelopeSchema:
+    def test_file_committed(self):
+        assert ENVELOPE_PATH.is_file()
+
+    def test_schema(self, envelope):
+        assert envelope["schema_version"] == 1
+        study = envelope["study"]
+        assert study["system"] == "double_pendulum"
+        assert study["resolution"] == 6
+        assert study["seed"] == SEED
+        assert study["ranks"] == [RANK] * 5
+        assert 0.0 < envelope["keep_probability"] <= 1.0
+        assert set(envelope["variants"]) == set(VARIANTS)
+        for bounds in envelope["variants"].values():
+            assert set(bounds) == {"exact_rmse", "max_rmse"}
+            assert 0.0 < bounds["exact_rmse"] < bounds["max_rmse"]
+
+
+class TestKeepProbabilityOne:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_byte_identical_to_exact(self, pendulum_study, variant):
+        exact = pendulum_study.run_m2td(
+            _ranks(pendulum_study), variant=variant, pivot="t", seed=SEED
+        )
+        sketched = pendulum_study.run_m2td(
+            _ranks(pendulum_study), variant=variant, pivot="t", seed=SEED,
+            method="sketched", keep_probability=1.0,
+        )
+        a, b = exact.m2td.tucker, sketched.m2td.tucker
+        assert a.core.tobytes() == b.core.tobytes()
+        for u_a, u_b in zip(a.factors, b.factors):
+            assert u_a.tobytes() == u_b.tobytes()
+        assert sketched.m2td.method == "sketched"
+        assert exact.m2td.method == "exact"
+
+
+class TestSketchedEnvelope:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_rmse_within_envelope(self, pendulum_study, envelope, variant):
+        bounds = envelope["variants"][variant]
+        result = pendulum_study.run_m2td(
+            _ranks(pendulum_study), variant=variant, pivot="t", seed=SEED,
+            method="sketched",
+            keep_probability=envelope["keep_probability"],
+        )
+        rmse = _rmse(pendulum_study, result)
+        assert rmse <= bounds["max_rmse"], (
+            f"sketched M2TD-{variant} RMSE {rmse:.6f} exceeds the "
+            f"committed envelope {bounds['max_rmse']}"
+        )
+        # the sketch costs accuracy but must still reconstruct: well
+        # under twice the exact RMSE and strictly better than zero info
+        assert rmse < 2.0 * bounds["exact_rmse"]
+
+    def test_exact_reference_pinned(self, pendulum_study, envelope):
+        """The envelope's exact_rmse entries are live numbers, not
+        stale copies — recomputed here against the exact method."""
+        for variant in VARIANTS:
+            result = pendulum_study.run_m2td(
+                _ranks(pendulum_study), variant=variant, pivot="t",
+                seed=SEED,
+            )
+            assert _rmse(pendulum_study, result) == pytest.approx(
+                envelope["variants"][variant]["exact_rmse"], abs=1e-6
+            )
+
+
+class TestGramMethod:
+    def test_gram_m2td_close_to_exact(self, pendulum_study):
+        exact = pendulum_study.run_m2td(
+            _ranks(pendulum_study), variant="concat", pivot="t", seed=SEED
+        )
+        gram = pendulum_study.run_m2td(
+            _ranks(pendulum_study), variant="concat", pivot="t", seed=SEED,
+            method="gram",
+        )
+        assert gram.accuracy == pytest.approx(exact.accuracy, abs=1e-6)
+
+    def test_unknown_method_rejected(self, pendulum_study):
+        with pytest.raises(KernelError, match="method"):
+            pendulum_study.run_m2td(
+                _ranks(pendulum_study), variant="avg", seed=SEED,
+                method="turbo",
+            )

@@ -1,0 +1,170 @@
+"""Sketched (MACH) kernel paths: byte-identity at keep_probability=1.0,
+the empty-sketch SketchError regression, and the exact-fallback meter.
+
+``method="sketched"`` is opt-in — the wall here guarantees that opting
+in at p=1.0 costs *nothing*: core and factors are byte-for-byte the
+exact result, for all three Tucker kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import KernelError, SketchError
+from repro.observability.metrics import MetricsRegistry, use_metrics
+from repro.tensor import (
+    KEEP_PROBABILITY_SCHEDULE,
+    SparseTensor,
+    hooi,
+    hosvd,
+    sketch_curve,
+    sparsify,
+    st_hosvd,
+    suggested_keep_probability,
+)
+
+
+def _random_tensor(ndim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dims = rng.integers(2, 6, size=ndim)
+    return rng.standard_normal(tuple(dims))
+
+
+def _assert_byte_identical(a, b):
+    assert np.array_equal(a.core, b.core)
+    assert len(a.factors) == len(b.factors)
+    for u_a, u_b in zip(a.factors, b.factors):
+        assert np.array_equal(u_a, u_b)
+
+
+class TestKeepProbabilityOne:
+    """p >= 1.0 must short-circuit: no sketch round-trip, so the result
+    is byte-identical to the exact method."""
+
+    @given(ndim=st.integers(3, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_hosvd_identity(self, ndim, seed):
+        dense = _random_tensor(ndim, seed)
+        ranks = tuple(min(2, s) for s in dense.shape)
+        _assert_byte_identical(
+            hosvd(dense, ranks),
+            hosvd(dense, ranks, method="sketched", keep_probability=1.0),
+        )
+
+    @given(ndim=st.integers(3, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_st_hosvd_identity(self, ndim, seed):
+        dense = _random_tensor(ndim, seed)
+        ranks = tuple(min(2, s) for s in dense.shape)
+        _assert_byte_identical(
+            st_hosvd(dense, ranks),
+            st_hosvd(dense, ranks, method="sketched", keep_probability=1.0),
+        )
+
+    @given(ndim=st.integers(3, 4), seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_hooi_identity(self, ndim, seed):
+        dense = _random_tensor(ndim, seed)
+        ranks = tuple(min(2, s) for s in dense.shape)
+        _assert_byte_identical(
+            hooi(dense, ranks, n_iter=3),
+            hooi(
+                dense, ranks, n_iter=3,
+                method="sketched", keep_probability=1.0,
+            ),
+        )
+
+    def test_sparse_input_identity(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((5, 6, 7))
+        dense[rng.random(dense.shape) < 0.5] = 0.0
+        sparse = SparseTensor.from_dense(dense)
+        _assert_byte_identical(
+            hosvd(sparse, (2, 2, 2)),
+            hosvd(sparse, (2, 2, 2), method="sketched", keep_probability=1.0),
+        )
+
+
+class TestSketchError:
+    def test_empty_sketch_raises(self):
+        """Regression: a sketch that drops every entry of a non-empty
+        tensor is a typed SketchError, not a silent zero tensor."""
+        rng = np.random.default_rng(1)
+        tensor = rng.standard_normal((3, 3, 3))
+        with pytest.raises(SketchError, match="dropped"):
+            sparsify(tensor, 1e-12, seed=0)
+
+    def test_empty_input_does_not_raise(self):
+        empty = SparseTensor((3, 3, 3))
+        sketch = sparsify(empty, 1e-12, seed=0)
+        assert sketch.nnz == 0
+
+    def test_sketched_method_falls_back_to_exact(self):
+        """A degenerate keep probability inside method='sketched' heals
+        by running exact, metered as tensor.sketch_fallbacks."""
+        rng = np.random.default_rng(2)
+        dense = rng.standard_normal((4, 4, 4))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            sketched = hosvd(
+                dense, (2, 2, 2), method="sketched",
+                keep_probability=1e-12, seed=0,
+            )
+            assert registry.counter("tensor.sketch_fallbacks").value == 1
+        _assert_byte_identical(hosvd(dense, (2, 2, 2)), sketched)
+
+    def test_sketches_metered(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((6, 6, 6))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            sparsify(dense, 0.5, seed=0)
+            assert registry.counter("tensor.sketches").value == 1
+
+
+class TestMethodValidation:
+    def test_unknown_method_raises(self):
+        dense = np.ones((2, 2, 2))
+        for fn in (hosvd, st_hosvd):
+            with pytest.raises(KernelError, match="method"):
+                fn(dense, (1, 1, 1), method="turbo")
+        with pytest.raises(KernelError, match="method"):
+            hooi(dense, (1, 1, 1), method="turbo")
+
+
+class TestSketchCurve:
+    def test_schedule_shape(self):
+        assert KEEP_PROBABILITY_SCHEDULE[0] == 1.0
+        assert all(
+            a > b for a, b in zip(
+                KEEP_PROBABILITY_SCHEDULE, KEEP_PROBABILITY_SCHEDULE[1:]
+            )
+        )
+
+    def test_curve_rows(self):
+        rng = np.random.default_rng(4)
+        dense = rng.standard_normal((6, 6, 6))
+        from repro.tensor import hosvd as exact_hosvd
+
+        reference = exact_hosvd(dense, (2, 2, 2)).reconstruct()
+        rows = sketch_curve(
+            dense, (2, 2, 2), probabilities=(1.0, 0.5), seed=0,
+            reference=reference,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row) == {
+                "keep_probability", "seconds", "relative_error",
+            }
+        # against the exact reconstruction the p=1.0 anchor is error-free
+        assert rows[0]["relative_error"] == 0.0
+        assert rows[1]["relative_error"] > 0.0
+
+    def test_suggested_probability_in_schedule_range(self):
+        rng = np.random.default_rng(5)
+        dense = rng.standard_normal((20, 4, 4))
+        p = suggested_keep_probability(dense)
+        assert KEEP_PROBABILITY_SCHEDULE[-1] <= p <= 1.0
