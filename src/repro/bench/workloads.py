@@ -349,6 +349,47 @@ for _workers in (1, 2, 4):
     )(_dm2td(_workers))
 
 
+def _dm2td_external(workers: int) -> Callable[[SizeSpec], PreparedWorkload]:
+    """D-M2TD dispatched through the supervised worker pool: real
+    child processes, heartbeats, leases — measures the cross-process
+    serialization + supervision overhead against the in-process rows."""
+
+    def build(size: SizeSpec) -> PreparedWorkload:
+        from ..distributed.dm2td import distributed_m2td
+        from ..distributed.mapreduce import LocalMapReduceEngine
+        from ..runtime import Runtime
+
+        study, partition, x1, x2 = _sub_ensembles(size, "cross", 1.0)
+        ranks = _ranks(size, study.space.n_modes)
+        runtime = Runtime(workers=workers)
+        engine = LocalMapReduceEngine(
+            n_workers=workers, transport="process"
+        )
+
+        def run():
+            return distributed_m2td(
+                x1, x2, partition, ranks,
+                variant="select", engine=engine, runtime=runtime,
+            )
+
+        def close():
+            engine.close()
+            runtime.shutdown()
+
+        return PreparedWorkload(run, close)
+
+    return build
+
+
+for _workers in (2, 4):
+    workload(
+        f"dm2td.external.workers{_workers}",
+        "distributed",
+        f"3-phase D-M2TD on {_workers} supervised external worker "
+        "processes (heartbeats + leases)",
+    )(_dm2td_external(_workers))
+
+
 # ----------------------------------------------------------------------
 # suite: storage — the block tensor store
 # ----------------------------------------------------------------------

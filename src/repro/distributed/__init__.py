@@ -17,6 +17,14 @@ from .mapreduce import (
     TaskStats,
     payload_bytes,
 )
+from .workers import (
+    InlineTransport,
+    ProcessTransport,
+    TaskOutcome,
+    Transport,
+    WorkerSupervisor,
+    make_transport,
+)
 
 __all__ = [
     "ClusterModel",
@@ -30,4 +38,10 @@ __all__ = [
     "MapReduceJob",
     "TaskStats",
     "payload_bytes",
+    "InlineTransport",
+    "ProcessTransport",
+    "TaskOutcome",
+    "Transport",
+    "WorkerSupervisor",
+    "make_transport",
 ]

@@ -1,0 +1,61 @@
+"""Argparse glue for the supervised worker pool.
+
+Mirrors :mod:`repro.faults.cli`::
+
+    add_worker_args(parser)
+    args = parser.parse_args(argv)
+    apply_worker_args(args)   # before any engine is constructed
+    ...
+
+``--transport`` / ``--heartbeat-seconds`` are exported as the
+``M2TD_TRANSPORT`` / ``M2TD_HEARTBEAT_SECONDS`` environment variables,
+which every :class:`~repro.distributed.mapreduce.LocalMapReduceEngine`
+constructed without an explicit ``transport`` consults — so one flag
+moves an entire experiment run (engines are built deep inside table
+code) onto supervised external worker processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+__all__ = ["add_worker_args", "apply_worker_args"]
+
+
+def add_worker_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("worker pool")
+    group.add_argument(
+        "--transport",
+        choices=("thread", "inline", "process"),
+        help="task venue for MapReduce engines: 'thread' (default; "
+        "in-process), or a supervised worker pool over the 'inline' "
+        "or 'process' transport (heartbeats, leases, crash budget; "
+        "see docs/distributed.md)",
+    )
+    group.add_argument(
+        "--heartbeat-seconds",
+        type=float,
+        metavar="S",
+        help="worker heartbeat interval for supervised transports "
+        "(default 0.25; ignored without --transport inline/process)",
+    )
+
+
+def apply_worker_args(args: argparse.Namespace) -> None:
+    """Export the parsed flags as the engine-consulted env vars.
+
+    Call before constructing engines (or code that constructs them).
+    Flags left unset leave the environment untouched, so an exported
+    ``M2TD_TRANSPORT`` still wins when the flag is omitted.
+    """
+    transport = getattr(args, "transport", None)
+    if transport is not None:
+        os.environ["M2TD_TRANSPORT"] = transport
+    heartbeat = getattr(args, "heartbeat_seconds", None)
+    if heartbeat is not None:
+        if heartbeat <= 0:
+            raise SystemExit(
+                f"--heartbeat-seconds must be > 0, got {heartbeat}"
+            )
+        os.environ["M2TD_HEARTBEAT_SECONDS"] = repr(heartbeat)

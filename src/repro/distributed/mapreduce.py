@@ -8,18 +8,31 @@ bytes it moved.  :mod:`repro.distributed.cluster` replays those
 measurements against a cluster model to obtain the wall-clock a given
 server count would achieve — which is all Table III needs (the phase
 split and the scaling shape, not JVM details).
+
+Task bodies are module-level callable objects (:class:`_MapTaskBody`,
+:class:`_ReduceTaskBody`) built from plain data, so the same job can
+run in-process (threads, the default) or be dispatched through a
+:class:`~repro.distributed.workers.WorkerSupervisor` to real external
+worker processes.  Fault decisions are always taken engine-side — the
+armed effect rides into the task as a picklable
+:class:`~repro.faults.directive.FaultDirective` — so the injector's
+ordinal bookkeeping and recovery accounting stay in one process no
+matter where the task lands.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import FaultInjectionError, MapReduceError
+from ..faults.directive import FaultDirective, directive_for
 from ..faults.injector import get_injector
 from ..observability import get_metrics, span as _span
 from ..runtime.executors import Executor, InlineExecutor, ThreadExecutor
@@ -32,6 +45,9 @@ MapFn = Callable[[Hashable, Any], Iterable[Record]]
 
 #: ``reduce(key, values) -> iterable of records``.
 ReduceFn = Callable[[Hashable, List[Any]], Iterable[Record]]
+
+#: ``M2TD_TRANSPORT`` env values that mean "no external workers".
+_IN_PROCESS_TRANSPORTS = ("", "thread", "none", "off")
 
 
 def payload_bytes(value: Any) -> int:
@@ -116,8 +132,116 @@ def _identity_map(key: Hashable, value: Any) -> Iterable[Record]:
     yield key, value
 
 
+class _MapTaskBody:
+    """One map task as a self-contained, picklable callable.
+
+    Carries only its own slice of the input (not the full record
+    list), so shipping it to an external worker moves exactly the
+    bytes the task needs.  ``directive`` is the engine-armed fault
+    effect for the current attempt: raise/crash/delay fire before the
+    work *inside the timed section* (a delayed task shows up as a
+    straggler), drop-output discards the finished output.
+    """
+
+    def __init__(
+        self,
+        job_name: str,
+        task_id: str,
+        map_fn: MapFn,
+        items: List[Record],
+    ):
+        self.job_name = job_name
+        self.task_id = task_id
+        self.map_fn = map_fn
+        self.items = items
+        self.directive: Optional[FaultDirective] = None
+
+    def __call__(self) -> Tuple[TaskStats, List[Record]]:
+        task = TaskStats(task_id=self.task_id)
+        emitted_records: List[Record] = []
+        started = time.perf_counter()
+        with _span(
+            self.task_id, "mapreduce", job=self.job_name, stage="map",
+            worker=threading.current_thread().name,
+        ) as sp:
+            directive = self.directive
+            drop = directive is not None and directive.kind == "drop-output"
+            if directive is not None and not drop:
+                directive.apply_pre()
+            for key, value in self.items:
+                task.records_in += 1
+                task.bytes_in += payload_bytes(value)
+                try:
+                    emitted = list(self.map_fn(key, value))
+                except Exception as exc:
+                    raise MapReduceError(
+                        f"map task {task.task_id} of job "
+                        f"{self.job_name!r} failed on key {key!r}: {exc}"
+                    ) from exc
+                for out_key, out_value in emitted:
+                    task.records_out += 1
+                    task.bytes_out += payload_bytes(out_value)
+                    emitted_records.append((out_key, out_value))
+            if drop:
+                # The work happened; its output is lost — the fault the
+                # engine's re-execution budget must absorb.
+                raise FaultInjectionError(
+                    "mapreduce.map",
+                    self.task_id,
+                    directive.fault_id,
+                    "map output dropped",
+                )
+            sp.set(
+                records_in=task.records_in, records_out=task.records_out
+            )
+        task.compute_seconds = time.perf_counter() - started
+        return task, emitted_records
+
+
+class _ReduceTaskBody:
+    """One reduce task as a self-contained, picklable callable."""
+
+    def __init__(
+        self,
+        job_name: str,
+        key: Hashable,
+        values: List[Any],
+        reduce_fn: ReduceFn,
+    ):
+        self.job_name = job_name
+        self.task_id = f"reduce-{key!r}"
+        self.key = key
+        self.values = values
+        self.reduce_fn = reduce_fn
+        self.directive: Optional[FaultDirective] = None
+
+    def __call__(self) -> Tuple[TaskStats, List[Record]]:
+        task = TaskStats(task_id=self.task_id)
+        task.records_in = len(self.values)
+        task.bytes_in = sum(payload_bytes(v) for v in self.values)
+        started = time.perf_counter()
+        with _span(
+            self.task_id, "mapreduce", job=self.job_name, stage="reduce",
+            worker=threading.current_thread().name,
+        ):
+            if self.directive is not None:
+                self.directive.apply_pre()
+            try:
+                emitted = list(self.reduce_fn(self.key, self.values))
+            except Exception as exc:
+                raise MapReduceError(
+                    f"reduce task for key {self.key!r} of job "
+                    f"{self.job_name!r} failed: {exc}"
+                ) from exc
+        task.compute_seconds = time.perf_counter() - started
+        for _out_key, out_value in emitted:
+            task.records_out += 1
+            task.bytes_out += payload_bytes(out_value)
+        return task, emitted
+
+
 class LocalMapReduceEngine:
-    """Execute MapReduce jobs in-process, recording task statistics.
+    """Execute MapReduce jobs, recording task statistics.
 
     By default the engine is sequential — determinism matters more for
     a reproduction harness than real parallel speed, and the cluster
@@ -129,10 +253,21 @@ class LocalMapReduceEngine:
     which release the GIL, so threads yield real speedups without
     pickling the closures a process pool would require.  An explicit
     ``executor`` overrides that choice — any venue satisfying the
-    :class:`~repro.runtime.executors.Executor` contract works.  Map
-    results are concatenated in task order and reduce tasks complete
-    in sorted key order, so output records and statistics ordering are
-    byte-identical to the sequential engine (tests assert it).
+    :class:`~repro.runtime.executors.Executor` contract works.
+
+    Cross-process execution is one constructor argument away:
+    ``transport="process"`` (or ``"inline"``) routes every map/reduce
+    task through a :class:`~repro.distributed.workers.WorkerSupervisor`
+    — external worker processes with heartbeats, task leases, crash
+    budgets and metered degradation.  An explicit ``supervisor``
+    overrides (and is *not* owned by the engine); with neither given,
+    the ``M2TD_TRANSPORT`` environment variable picks the venue, which
+    is how the chaos suite runs unchanged against live workers.
+
+    Map results are concatenated in task order and reduce tasks
+    complete in sorted key order, so output records and statistics
+    ordering are byte-identical to the sequential engine on every
+    venue (tests assert it).
     """
 
     def __init__(
@@ -141,6 +276,12 @@ class LocalMapReduceEngine:
         executor: Optional[Executor] = None,
         task_attempts: int = 1,
         straggler_seconds: Optional[float] = None,
+        transport: Optional[str] = None,
+        supervisor: Optional[Any] = None,
+        heartbeat_seconds: float = 0.25,
+        lease_seconds: Optional[float] = None,
+        crash_budget: int = 3,
+        start_method: Optional[str] = None,
     ):
         n_workers = int(n_workers)
         if n_workers < 1:
@@ -171,11 +312,41 @@ class LocalMapReduceEngine:
                 else ThreadExecutor(n_workers)
             )
         self.executor = executor
+        self._owns_supervisor = False
+        if supervisor is None and transport is None:
+            transport = os.environ.get("M2TD_TRANSPORT", "").strip() or None
+            if transport in _IN_PROCESS_TRANSPORTS:
+                transport = None
+            hb_env = os.environ.get("M2TD_HEARTBEAT_SECONDS", "").strip()
+            if transport is not None and hb_env:
+                heartbeat_seconds = float(hb_env)
+        if supervisor is None and transport is not None:
+            # Imported lazily: repro.distributed.workers depends on this
+            # module's payload accounting, not the other way round.
+            from .workers import WorkerSupervisor
+
+            supervisor = WorkerSupervisor(
+                transport=transport,
+                n_workers=n_workers,
+                heartbeat_seconds=heartbeat_seconds,
+                lease_seconds=lease_seconds,
+                crash_budget=crash_budget,
+                start_method=start_method,
+            )
+            self._owns_supervisor = True
+            # Tests (and long-lived drivers) don't always close the
+            # engine; make sure an engine-owned pool never outlives it.
+            self._finalizer = weakref.finalize(
+                self, supervisor.shutdown
+            )
+        self.supervisor = supervisor
 
     def close(self) -> None:
-        """Release the worker pool (only if the engine created it)."""
+        """Release the worker pool (only what the engine created)."""
         if self._owns_executor:
             self.executor.shutdown()
+        if self._owns_supervisor and self.supervisor is not None:
+            self.supervisor.shutdown()
 
     def run(
         self, job: MapReduceJob, records: Iterable[Record]
@@ -188,61 +359,16 @@ class LocalMapReduceEngine:
         # ----------------------------------------------------- map
         n_map_tasks = max(1, min(int(job.map_tasks), max(len(records), 1)))
         chunks = np.array_split(np.arange(len(records)), n_map_tasks)
-
-        def run_map_task(
-            task_index: int, chunk: np.ndarray
-        ) -> Tuple[TaskStats, List[Record]]:
-            task = TaskStats(task_id=f"map-{task_index}")
-            emitted_records: List[Record] = []
-            started = time.perf_counter()
-            with _span(
-                task.task_id, "mapreduce", job=job.name, stage="map",
-                worker=threading.current_thread().name,
-            ) as sp:
-                # Per-task fault hook: raise/crash/delay fire here (a
-                # delay lands inside the timer, so it shows up as a
-                # straggler); a drop-output decision is deferred until
-                # the work is done — the output, not the task, is lost.
-                injector = get_injector()
-                drop = None
-                if injector.enabled:
-                    decision = injector.fire("mapreduce.map", task.task_id)
-                    if decision is not None and decision.kind == "drop-output":
-                        drop = decision
-                for record_index in chunk:
-                    key, value = records[record_index]
-                    task.records_in += 1
-                    task.bytes_in += payload_bytes(value)
-                    try:
-                        emitted = list(map_fn(key, value))
-                    except Exception as exc:
-                        raise MapReduceError(
-                            f"map task {task.task_id} of job {job.name!r} "
-                            f"failed on key {key!r}: {exc}"
-                        ) from exc
-                    for out_key, out_value in emitted:
-                        task.records_out += 1
-                        task.bytes_out += payload_bytes(out_value)
-                        emitted_records.append((out_key, out_value))
-                if drop is not None:
-                    raise FaultInjectionError(
-                        "mapreduce.map",
-                        task.task_id,
-                        drop.spec.fault_id,
-                        "map output dropped",
-                    )
-                sp.set(
-                    records_in=task.records_in, records_out=task.records_out
-                )
-            task.compute_seconds = time.perf_counter() - started
-            return task, emitted_records
-
-        map_results = self._dispatch(
-            [(index, chunk) for index, chunk in enumerate(chunks)],
-            run_map_task,
-            "mapreduce.map",
-            stats,
-        )
+        map_bodies = [
+            _MapTaskBody(
+                job.name,
+                f"map-{index}",
+                map_fn,
+                [records[i] for i in chunk],
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        map_results = self._execute(map_bodies, "mapreduce.map", stats)
         intermediate: List[Record] = []
         for task, emitted_records in map_results:
             stats.map_tasks.append(task)
@@ -273,61 +399,35 @@ class LocalMapReduceEngine:
                     output.append((key, value))
             return output, stats
 
-        def run_reduce_task(key) -> Tuple[TaskStats, List[Record]]:
-            task = TaskStats(task_id=f"reduce-{key!r}")
-            values = groups[key]
-            task.records_in = len(values)
-            task.bytes_in = sum(payload_bytes(v) for v in values)
-            started = time.perf_counter()
-            with _span(
-                task.task_id, "mapreduce", job=job.name, stage="reduce",
-                worker=threading.current_thread().name,
-            ):
-                injector = get_injector()
-                if injector.enabled:
-                    injector.fire("mapreduce.reduce", task.task_id)
-                try:
-                    emitted = list(job.reduce_fn(key, values))
-                except Exception as exc:
-                    raise MapReduceError(
-                        f"reduce task for key {key!r} of job {job.name!r} "
-                        f"failed: {exc}"
-                    ) from exc
-            task.compute_seconds = time.perf_counter() - started
-            for _out_key, out_value in emitted:
-                task.records_out += 1
-                task.bytes_out += payload_bytes(out_value)
-            return task, emitted
-
         ordered_keys = sorted(groups, key=repr)
-        results = self._dispatch(
-            [(key,) for key in ordered_keys],
-            run_reduce_task,
-            "mapreduce.reduce",
-            stats,
-        )
+        reduce_bodies = [
+            _ReduceTaskBody(job.name, key, groups[key], job.reduce_fn)
+            for key in ordered_keys
+        ]
+        results = self._execute(reduce_bodies, "mapreduce.reduce", stats)
         for task, emitted in results:
             stats.reduce_tasks.append(task)
             output.extend(emitted)
         return output, stats
 
     # ------------------------------------------------------------------
-    def _run_task(self, fn, args, site, stats):
+    def _run_task(self, body, site, stats):
         """One task with Hadoop-style fault tolerance: up to
         ``task_attempts`` executions on (injected or genuine) task
         failure, then one speculative re-execution if the surviving
         attempt ran longer than ``straggler_seconds``.  Tasks are
         deterministic, so the rerun's records are identical and taking
         the fresh copy never changes job output."""
+        injector = get_injector()
         attempts = self.task_attempts
         for attempt in range(1, attempts + 1):
+            body.directive = directive_for(injector, site, body.task_id)
             try:
-                task, emitted = fn(*args)
+                task, emitted = body()
             except (MapReduceError, FaultInjectionError):
                 if attempt >= attempts:
                     raise
                 continue
-            injector = get_injector()
             if attempt > 1:
                 with self._stats_lock:
                     stats.retried_tasks += 1
@@ -337,7 +437,10 @@ class LocalMapReduceEngine:
                 self.straggler_seconds is not None
                 and task.compute_seconds > self.straggler_seconds
             ):
-                task, emitted = fn(*args)
+                body.directive = directive_for(
+                    injector, site, body.task_id
+                )
+                task, emitted = body()
                 with self._stats_lock:
                     stats.speculative_tasks += 1
                 if injector.enabled:
@@ -345,14 +448,84 @@ class LocalMapReduceEngine:
             return task, emitted
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _dispatch(self, arg_tuples, fn, site, stats):
-        """Run ``fn(*args)`` for each tuple on the executor, returning
-        results in submission order (concurrent execution, sequential
-        collection — hence deterministic output/statistics ordering)."""
-        def run_one(*args):
-            return self._run_task(fn, args, site, stats)
-
-        if len(arg_tuples) <= 1 or isinstance(self.executor, InlineExecutor):
-            return [run_one(*args) for args in arg_tuples]
-        futures = [self.executor.submit(run_one, *args) for args in arg_tuples]
+    def _execute(self, bodies, site, stats):
+        """Run every task body, returning results in submission order
+        (concurrent execution, sequential collection — hence
+        deterministic output/statistics ordering)."""
+        if self.supervisor is not None:
+            return self._execute_supervised(bodies, site, stats)
+        if len(bodies) <= 1 or isinstance(self.executor, InlineExecutor):
+            return [self._run_task(body, site, stats) for body in bodies]
+        futures = [
+            self.executor.submit(self._run_task, body, site, stats)
+            for body in bodies
+        ]
         return [future.result() for future in futures]
+
+    def _execute_supervised(self, bodies, site, stats):
+        """Round-based dispatch through the worker supervisor.
+
+        Each round arms fresh fault directives (one injector decision
+        per task per attempt — the same cadence as in-process
+        execution) and submits the still-unfinished bodies as one
+        batch; task-level failures consume the engine's attempt
+        budget, while worker-level failures were already absorbed by
+        the supervisor's own crash budget and never surface here.
+        """
+        injector = get_injector()
+        results: List[Any] = [None] * len(bodies)
+        pending = list(range(len(bodies)))
+        attempt = 0
+        while pending:
+            attempt += 1
+            for index in pending:
+                bodies[index].directive = directive_for(
+                    injector, site, bodies[index].task_id
+                )
+            outcomes = self.supervisor.run_tasks(
+                [(bodies[index].task_id, bodies[index]) for index in pending]
+            )
+            still_pending: List[int] = []
+            for index, outcome in zip(pending, outcomes):
+                if outcome.ok:
+                    results[index] = outcome.value
+                    if attempt > 1:
+                        with self._stats_lock:
+                            stats.retried_tasks += 1
+                        if injector.enabled:
+                            injector.note_recovery(
+                                site, bodies[index].task_id
+                            )
+                    continue
+                error = outcome.error
+                if (
+                    isinstance(error, (MapReduceError, FaultInjectionError))
+                    and attempt < self.task_attempts
+                ):
+                    still_pending.append(index)
+                else:
+                    raise error
+            pending = still_pending
+        if self.straggler_seconds is not None:
+            slow = [
+                index
+                for index, (task, _emitted) in enumerate(results)
+                if task.compute_seconds > self.straggler_seconds
+            ]
+            if slow:
+                for index in slow:
+                    bodies[index].directive = directive_for(
+                        injector, site, bodies[index].task_id
+                    )
+                outcomes = self.supervisor.run_tasks(
+                    [(bodies[index].task_id, bodies[index]) for index in slow]
+                )
+                for index, outcome in zip(slow, outcomes):
+                    if not outcome.ok:
+                        raise outcome.error
+                    results[index] = outcome.value
+                    with self._stats_lock:
+                        stats.speculative_tasks += 1
+                    if injector.enabled:
+                        injector.note_recovery(site, bodies[index].task_id)
+        return results

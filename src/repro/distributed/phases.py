@@ -12,6 +12,11 @@ Phase 3 — parallel core recovery: join blocks shuffle on the pivot
 configuration again; each reduce task projects its block onto the
 free-mode factor subspaces and weights it by the pivot factor rows;
 the driver sums the per-pivot contributions into the core.
+
+All three reduce functions are module-level callable classes built
+from plain data (ranks, candidate arrays, factor matrices), so every
+phase pickles cleanly and can be dispatched to external worker
+processes by the supervised engine — not just run on threads.
 """
 
 from __future__ import annotations
@@ -32,25 +37,35 @@ from .mapreduce import MapReduceJob, Record
 # ----------------------------------------------------------------------
 # phase 1: parallel sub-tensor decomposition
 # ----------------------------------------------------------------------
-def phase1_job(ranks_per_mode: Dict[int, Tuple[int, ...]]) -> MapReduceJob:
-    """Job decomposing each sub-tensor independently.
+class Phase1Reduce:
+    """Decompose one sub-tensor: per-mode truncated SVDs.
 
     ``ranks_per_mode[kappa]`` holds the target rank for each mode of
     sub-tensor ``kappa``.
     """
 
-    def reduce_fn(kappa, values) -> Iterable[Record]:
+    def __init__(self, ranks_per_mode: Dict[int, Tuple[int, ...]]):
+        self.ranks_per_mode = ranks_per_mode
+
+    def __call__(self, kappa, values) -> Iterable[Record]:
         (tensor,) = values
         if not isinstance(tensor, SparseTensor):
             raise MapReduceError("phase 1 expects SparseTensor payloads")
-        ranks = ranks_per_mode[kappa]
+        ranks = self.ranks_per_mode[kappa]
         for mode, rank in enumerate(ranks):
             matricized = tensor.unfold_csr(mode)
             clipped = max(1, min(int(rank), min(matricized.shape)))
             u, s, _vt = truncated_svd(matricized, clipped)
             yield ("factor", (kappa, mode, u, s))
 
-    return MapReduceJob(name="phase1-sub-decompose", reduce_fn=reduce_fn, map_tasks=2)
+
+def phase1_job(ranks_per_mode: Dict[int, Tuple[int, ...]]) -> MapReduceJob:
+    """Job decomposing each sub-tensor independently."""
+    return MapReduceJob(
+        name="phase1-sub-decompose",
+        reduce_fn=Phase1Reduce(ranks_per_mode),
+        map_tasks=2,
+    )
 
 
 def phase1_records(
@@ -101,20 +116,24 @@ def phase2_records(
     return records
 
 
-def phase2_job(
-    partition: PFPartition,
-    join_kind: str = "join",
-    candidates1: Optional[np.ndarray] = None,
-    candidates2: Optional[np.ndarray] = None,
-) -> MapReduceJob:
-    """Job building one join block per pivot configuration.
+class Phase2Reduce:
+    """Build one join (or zero-join) block for one pivot
+    configuration."""
 
-    Emits ``(pivot, (free1_flat, free2_flat, values))`` records.
-    """
-    if join_kind not in ("join", "zero"):
-        raise MapReduceError(f"unknown join kind {join_kind!r}")
+    def __init__(
+        self,
+        join_kind: str,
+        candidates1: Optional[np.ndarray] = None,
+        candidates2: Optional[np.ndarray] = None,
+    ):
+        self.join_kind = join_kind
+        self.candidates1 = candidates1
+        self.candidates2 = candidates2
 
-    def reduce_fn(pivot, values) -> Iterable[Record]:
+    def __call__(self, pivot, values) -> Iterable[Record]:
+        join_kind = self.join_kind
+        candidates1 = self.candidates1
+        candidates2 = self.candidates2
         side1 = [(f, v) for which, f, v in values if which == 1]
         side2 = [(f, v) for which, f, v in values if which == 2]
         frees1 = (
@@ -188,42 +207,92 @@ def phase2_job(
                 ),
             )
 
-    return MapReduceJob(name="phase2-je-stitch", reduce_fn=reduce_fn, map_tasks=4)
+
+def phase2_job(
+    partition: PFPartition,
+    join_kind: str = "join",
+    candidates1: Optional[np.ndarray] = None,
+    candidates2: Optional[np.ndarray] = None,
+) -> MapReduceJob:
+    """Job building one join block per pivot configuration.
+
+    Emits ``(pivot, (free1_flat, free2_flat, values))`` records.
+    """
+    if join_kind not in ("join", "zero"):
+        raise MapReduceError(f"unknown join kind {join_kind!r}")
+    return MapReduceJob(
+        name="phase2-je-stitch",
+        reduce_fn=Phase2Reduce(join_kind, candidates1, candidates2),
+        map_tasks=4,
+    )
 
 
 # ----------------------------------------------------------------------
 # phase 3: parallel core recovery
 # ----------------------------------------------------------------------
+class Phase3Reduce:
+    """Project one pivot's join block into core space.
+
+    Densifies the block over the free sub-spaces, projects it onto the
+    free-mode factor subspaces, and scales by the pivot factor rows;
+    emits one partial core per pivot.  Carries only factor-matrix-sized
+    state (the free/pivot shapes and the factor matrices themselves),
+    which is exactly the payload the supervised engine ships per task.
+    """
+
+    def __init__(
+        self,
+        free_shape1: Tuple[int, ...],
+        free_shape2: Tuple[int, ...],
+        pivot_shape: Tuple[int, ...],
+        pivot_factors: List[np.ndarray],
+        s1_factors: List[np.ndarray],
+        s2_factors: List[np.ndarray],
+    ):
+        self.free_shape1 = tuple(free_shape1)
+        self.free_shape2 = tuple(free_shape2)
+        self.pivot_shape = tuple(pivot_shape)
+        self.pivot_factors = list(pivot_factors)
+        self.s1_factors = list(s1_factors)
+        self.s2_factors = list(s2_factors)
+
+    def __call__(self, pivot, values) -> Iterable[Record]:
+        block = np.zeros(self.free_shape1 + self.free_shape2)
+        flat = block.reshape(
+            int(np.prod(self.free_shape1)), int(np.prod(self.free_shape2))
+        )
+        for a, b, v in values:
+            # duplicate (a, b) pairs across records average naturally
+            # because phase 2 emits each pair at most once per pivot.
+            flat[a, b] = v
+        projected = multi_ttm(
+            block, self.s1_factors + self.s2_factors, transpose=True
+        )
+        pivot_multi = np.unravel_index(int(pivot), self.pivot_shape)
+        pivot_rows = [
+            factor[index]
+            for factor, index in zip(self.pivot_factors, pivot_multi)
+        ]
+        weight = pivot_rows[0] if len(pivot_rows) == 1 else outer(pivot_rows)
+        yield ("core", np.multiply.outer(weight, projected))
+
+
 def phase3_job(
     partition: PFPartition,
     pivot_factors: List[np.ndarray],
     s1_factors: List[np.ndarray],
     s2_factors: List[np.ndarray],
 ) -> MapReduceJob:
-    """Job projecting each pivot's join block into core space.
-
-    Each reduce task densifies its block over the free sub-spaces,
-    projects it onto the free-mode factor subspaces, and scales by the
-    pivot factor rows; emits one partial core per pivot.
-    """
-    free_shape1 = partition.free_shape(1)
-    free_shape2 = partition.free_shape(2)
-
-    def reduce_fn(pivot, values) -> Iterable[Record]:
-        block = np.zeros(free_shape1 + free_shape2)
-        flat = block.reshape(int(np.prod(free_shape1)), int(np.prod(free_shape2)))
-        for a, b, v in values:
-            # duplicate (a, b) pairs across records average naturally
-            # because phase 2 emits each pair at most once per pivot.
-            flat[a, b] = v
-        projected = multi_ttm(
-            block, list(s1_factors) + list(s2_factors), transpose=True
-        )
-        pivot_multi = np.unravel_index(int(pivot), partition.pivot_shape)
-        pivot_rows = [
-            factor[index] for factor, index in zip(pivot_factors, pivot_multi)
-        ]
-        weight = pivot_rows[0] if len(pivot_rows) == 1 else outer(pivot_rows)
-        yield ("core", np.multiply.outer(weight, projected))
-
-    return MapReduceJob(name="phase3-core-recovery", reduce_fn=reduce_fn, map_tasks=4)
+    """Job projecting each pivot's join block into core space."""
+    return MapReduceJob(
+        name="phase3-core-recovery",
+        reduce_fn=Phase3Reduce(
+            partition.free_shape(1),
+            partition.free_shape(2),
+            partition.pivot_shape,
+            pivot_factors,
+            s1_factors,
+            s2_factors,
+        ),
+        map_tasks=4,
+    )

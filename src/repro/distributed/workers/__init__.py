@@ -1,0 +1,62 @@
+"""repro.distributed.workers — a crash-tolerant worker protocol.
+
+The cross-process execution layer under D-M2TD.  Three pieces:
+
+:mod:`~repro.distributed.workers.protocol`
+    The wire format: hello/heartbeat/task/result/shutdown messages,
+    checksummed replies, and the pickle-safe :class:`ErrorEnvelope`
+    that preserves exception type, traceback text, and fault
+    provenance across the process boundary.
+:mod:`~repro.distributed.workers.transport`
+    Where workers live: :class:`InlineTransport` (in-process, for unit
+    tests and degradation) and :class:`ProcessTransport`
+    (``multiprocessing`` pipes; a SIGKILLed child surfaces as pipe
+    EOF).  Socket transports are a follow-up seam behind the same
+    :class:`Transport` ABC.
+:mod:`~repro.distributed.workers.supervisor`
+    :class:`WorkerSupervisor` — heartbeats with deadline detection,
+    task leases that requeue on silence, exponential-backoff respawn
+    under a crash budget, poison-task quarantine, and metered
+    degradation to inline execution when the budget is exhausted.
+"""
+
+from .protocol import (
+    ErrorEnvelope,
+    HeartbeatMessage,
+    HelloMessage,
+    ResultMessage,
+    ShutdownMessage,
+    TaskMessage,
+    WorkerConfig,
+    checksum,
+    flip_bytes,
+)
+from .supervisor import TaskOutcome, WorkerSupervisor
+from .transport import (
+    InlineTransport,
+    ProcessTransport,
+    Transport,
+    WorkerHandle,
+    execute_task,
+    make_transport,
+)
+
+__all__ = [
+    "ErrorEnvelope",
+    "HeartbeatMessage",
+    "HelloMessage",
+    "InlineTransport",
+    "ProcessTransport",
+    "ResultMessage",
+    "ShutdownMessage",
+    "TaskMessage",
+    "TaskOutcome",
+    "Transport",
+    "WorkerConfig",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "checksum",
+    "execute_task",
+    "flip_bytes",
+    "make_transport",
+]

@@ -172,6 +172,98 @@ class WorkerCrashError(FaultInjectionError):
     """An injected fault simulating a crashed worker mid-task."""
 
 
+class WorkerProtocolError(ReproError, RuntimeError):
+    """Base class for failures in the cross-process worker protocol."""
+
+
+class WorkerSpawnError(WorkerProtocolError):
+    """A worker process could not be started (or an injected spawn
+    fault aborted the attempt)."""
+
+    def __init__(self, worker_id: str, reason: str):
+        super().__init__(f"worker {worker_id!r} failed to spawn: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+    def __reduce__(self):
+        return (self.__class__, (self.worker_id, self.reason))
+
+
+class CorruptReplyError(WorkerProtocolError):
+    """A worker's reply failed its checksum — the payload travelled the
+    transport but arrived damaged.  The supervisor treats this like a
+    worker death (requeue the task, respawn the worker) rather than
+    ever unpickling bytes it cannot trust."""
+
+    def __init__(self, worker_id: str, task_id: str, reason: str):
+        super().__init__(
+            f"reply for task {task_id!r} from worker {worker_id!r} is "
+            f"corrupt: {reason}"
+        )
+        self.worker_id = worker_id
+        self.task_id = task_id
+        self.reason = reason
+
+    def __reduce__(self):
+        return (self.__class__, (self.worker_id, self.task_id, self.reason))
+
+
+class PoisonTaskError(WorkerProtocolError):
+    """A task burned through its lease-expiry budget and was
+    quarantined — it keeps taking workers down (or never finishes)
+    no matter where it runs."""
+
+    def __init__(self, task_id: str, expiries: int):
+        super().__init__(
+            f"task {task_id!r} quarantined after {expiries} expired "
+            "lease(s)"
+        )
+        self.task_id = task_id
+        self.expiries = expiries
+
+    def __reduce__(self):
+        return (self.__class__, (self.task_id, self.expiries))
+
+
+class CrashBudgetError(WorkerProtocolError):
+    """The supervisor's crash budget is exhausted and inline
+    degradation was disabled."""
+
+    def __init__(self, respawns: int, budget: int):
+        super().__init__(
+            f"crash budget exhausted: {respawns} respawn(s) against a "
+            f"budget of {budget}"
+        )
+        self.respawns = respawns
+        self.budget = budget
+
+    def __reduce__(self):
+        return (self.__class__, (self.respawns, self.budget))
+
+
+class RemoteTaskError(WorkerProtocolError):
+    """A worker-side exception whose original class could not be
+    reconstructed in the supervisor process.
+
+    The original type name, message and full traceback text are
+    preserved verbatim, so a pickling quirk in some exotic exception
+    class can never mask what actually went wrong in the worker.
+    """
+
+    def __init__(self, type_name: str, message: str,
+                 remote_traceback: str = ""):
+        super().__init__(f"worker raised {type_name}: {message}")
+        self.type_name = type_name
+        self.remote_message = message
+        self.remote_traceback = remote_traceback
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.type_name, self.remote_message, self.remote_traceback),
+        )
+
+
 class ServingError(ReproError, RuntimeError):
     """Base class for failures in the decomposition-serving layer."""
 

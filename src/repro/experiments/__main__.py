@@ -21,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..distributed.cli import add_worker_args, apply_worker_args
 from ..faults import add_fault_args, inject_faults
 from ..observability import add_observability_args, observe, span
 from ..runtime import Runtime
@@ -80,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observability_args(parser)
     add_fault_args(parser)
+    add_worker_args(parser)
     return parser
 
 
@@ -89,6 +91,7 @@ def main(argv=None) -> int:
         for experiment_id in available_experiments():
             print(experiment_id)
         return 0
+    apply_worker_args(args)
     config = quick_config() if args.quick else default_config()
     if args.method != "exact" or args.keep_probability != 0.5:
         from dataclasses import replace

@@ -22,6 +22,7 @@ repro.experiments`` and the study runner) to replay a schedule; see
 """
 
 from .cli import add_fault_args, inject_faults
+from .directive import FaultDirective, directive_for
 from .injector import (
     NULL_INJECTOR,
     FaultInjector,
@@ -34,6 +35,8 @@ from .injector import (
 from .plan import KINDS, SITES, FaultPlan, FaultPlanError, FaultSpec, plan_of
 
 __all__ = [
+    "FaultDirective",
+    "directive_for",
     "KINDS",
     "SITES",
     "FaultPlan",

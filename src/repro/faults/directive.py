@@ -1,0 +1,83 @@
+"""Fault directives: parent-decided effects shipped across process
+boundaries.
+
+The injector's bookkeeping (match ordinals, pending-recovery records,
+the ``faults.injected`` counter) must live in exactly one process or
+determinism and the recovery accounting fall apart.  When work runs in
+an external worker, the *decision* is therefore taken by the
+supervising process — via :meth:`FaultInjector.decide` — and only the
+*effect* travels: a :class:`FaultDirective` is plain picklable data
+that the task body (or the worker runtime) applies wherever it ends up
+executing.  A directive raising in a child process raises a real
+:class:`~repro.exceptions.FaultInjectionError` with full provenance,
+which the worker protocol's error envelope carries back intact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import FaultInjectionError, WorkerCrashError
+
+__all__ = ["FaultDirective", "directive_for"]
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One armed fault effect, reduced to plain data.
+
+    ``apply_pre`` fires the effects that land *before* the work
+    (``crash-worker``, ``raise``, ``delay``); ``apply_post`` fires the
+    ones that need the work done first (``drop-output`` — the output,
+    not the task, is lost).  ``corrupt`` and reply-suppression effects
+    are interpreted by the worker transport, not here.
+    """
+
+    site: str
+    target: str
+    fault_id: str
+    kind: str
+    message: str = ""
+    delay_seconds: float = 0.0
+
+    def apply_pre(self) -> None:
+        if self.kind == "crash-worker":
+            raise WorkerCrashError(
+                self.site, self.target, self.fault_id,
+                self.message or "worker crashed",
+            )
+        if self.kind == "raise":
+            raise FaultInjectionError(
+                self.site, self.target, self.fault_id, self.message
+            )
+        if self.kind == "delay":
+            time.sleep(self.delay_seconds)
+
+    def apply_post(self) -> None:
+        if self.kind == "drop-output":
+            raise FaultInjectionError(
+                self.site, self.target, self.fault_id,
+                self.message or "output dropped",
+            )
+
+
+def directive_for(injector, site: str, target: str
+                  ) -> Optional[FaultDirective]:
+    """Take a decision on ``injector`` and freeze it into a directive
+    (``None`` when faulting is off or nothing matched)."""
+    if not injector.enabled:
+        return None
+    decision = injector.decide(site, str(target))
+    if decision is None:
+        return None
+    spec = decision.spec
+    return FaultDirective(
+        site=site,
+        target=str(target),
+        fault_id=spec.fault_id,
+        kind=spec.kind,
+        message=spec.message,
+        delay_seconds=spec.delay_seconds,
+    )

@@ -36,15 +36,22 @@ SITES: Tuple[str, ...] = (
     "storage.block-read",  # block store reads; target = "tensor/(i, j)"
     "serving.query",       # serving requests; target = "study/kind"
     "serving.factor-load",  # factor-bundle loads; target = study key
+    "worker.spawn",        # worker (re)spawns; target = e.g. "worker-0"
+    "worker.heartbeat",    # worker heartbeat loops; target = worker id
+    "worker.result",       # worker task replies; target = task id
 )
 
 #: Fault kinds a spec may request.
 KINDS: Tuple[str, ...] = (
     "raise",         # the event raises FaultInjectionError
-    "crash-worker",  # the event raises WorkerCrashError (simulated crash)
-    "delay",         # the event stalls for delay_seconds (straggler)
-    "corrupt",       # the backing file is bit-flipped before the read
-    "drop-output",   # a map task's output is discarded after it ran
+    "crash-worker",  # simulated crash in-process; at worker.* sites a
+                     # REAL one — SIGKILL of the live worker process
+    "delay",         # the event stalls for delay_seconds (straggler;
+                     # at worker.heartbeat: the beat loop goes silent)
+    "corrupt",       # the backing file — or a worker's reply bytes —
+                     # is bit-flipped before the read
+    "drop-output",   # a map task's output is discarded after it ran;
+                     # at worker.result: the reply is never sent
 )
 
 #: Which kinds are meaningful at which sites.
@@ -53,10 +60,13 @@ _KIND_SITES: Dict[str, Tuple[str, ...]] = {
     "delay": SITES,
     "crash-worker": (
         "runtime.task", "executor.submit", "mapreduce.map",
-        "mapreduce.reduce",
+        "mapreduce.reduce", "worker.spawn", "worker.heartbeat",
     ),
-    "corrupt": ("cache.read", "storage.block-read", "serving.factor-load"),
-    "drop-output": ("mapreduce.map",),
+    "corrupt": (
+        "cache.read", "storage.block-read", "serving.factor-load",
+        "worker.result",
+    ),
+    "drop-output": ("mapreduce.map", "worker.result"),
 }
 
 

@@ -30,6 +30,7 @@ experiment      one CLI experiment run end to end
 runtime-task    task-graph metrics bridged from ``RuntimeReport``
 bench           one harness workload iteration (``repro.bench``)
 serving         factor-space queries, batch drains, bundle loads
+worker          supervised worker batches and (re)spawns
 ==============  ======================================================
 
 This package imports nothing from the rest of ``repro`` so that every

@@ -14,6 +14,7 @@ task — the scheduler attaches the task name, this module only decides
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple, Type
 
@@ -54,6 +55,20 @@ class RetryPolicy:
         backoff never exceeds the budget — a 10-attempt policy cannot
         stall a graph for longer than its declared budget, no matter
         how the geometric sequence grows.
+    jitter:
+        Decorrelation jitter as a fraction of each delay, in [0, 1].
+        When many tasks (or many respawning workers) fail at the same
+        instant, a pure geometric backoff retries them in lockstep,
+        producing synchronized thundering-herd retry waves.  With
+        jitter, the sleep before attempt ``a`` for key ``k`` becomes
+        ``delay * (1 - jitter * u)`` where ``u`` is a *deterministic*
+        uniform draw hashed from ``(jitter_seed, k, a)`` — different
+        keys decorrelate, while the same (seed, key, attempt) always
+        sleeps the same amount, so tests replay exactly.  Jitter only
+        ever shortens a delay, so ``max_backoff_seconds`` and the
+        backoff budget remain hard ceilings.
+    jitter_seed:
+        Seed feeding the jitter hash.
     retry_on:
         Exception classes that count as transient.  Anything else
         (and everything in :data:`NON_RETRYABLE`) fails immediately.
@@ -65,6 +80,8 @@ class RetryPolicy:
     max_backoff_seconds: float = 2.0
     timeout_seconds: Optional[float] = None
     backoff_budget_seconds: Optional[float] = None
+    jitter: float = 0.0
+    jitter_seed: int = 0
     retry_on: Tuple[Type[BaseException], ...] = (Exception,)
 
     def __post_init__(self) -> None:
@@ -90,6 +107,10 @@ class RetryPolicy:
                 "backoff_budget_seconds must be >= 0, got "
                 f"{self.backoff_budget_seconds}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise TaskGraphError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
     def _raw_delay(self, attempt: int) -> float:
         """The geometric sequence clamped per-sleep (budget ignored)."""
@@ -98,22 +119,38 @@ class RetryPolicy:
         raw = self.backoff_seconds * self.backoff_factor ** (attempt - 2)
         return float(min(raw, self.max_backoff_seconds))
 
-    def delay(self, attempt: int) -> float:
+    def _jitter_draw(self, attempt: int, key: str) -> float:
+        """Deterministic uniform in [0, 1) from (seed, key, attempt)."""
+        token = f"{self.jitter_seed}:{key}:{attempt}".encode()
+        return int.from_bytes(
+            hashlib.sha256(token).digest()[:8], "big"
+        ) / float(1 << 64)
+
+    def delay(self, attempt: int, key: str = "") -> float:
         """Sleep before attempt ``attempt`` (1-based; attempt 1 never
         sleeps).  With a backoff budget, the delay is additionally
         clipped so the cumulative sleep through this attempt stays
-        within ``backoff_budget_seconds``."""
+        within ``backoff_budget_seconds``.  ``key`` feeds the
+        decorrelation jitter — pass a stable per-task or per-worker id
+        so simultaneous failures spread their retries instead of
+        hammering back in lockstep."""
         if attempt <= 1:
             return 0.0
         if self.backoff_budget_seconds is None:
-            return self._raw_delay(attempt)
-        spent = self.total_backoff(attempt - 1)
-        remaining = max(0.0, self.backoff_budget_seconds - spent)
-        return float(min(self._raw_delay(attempt), remaining))
+            base = self._raw_delay(attempt)
+        else:
+            spent = self.total_backoff(attempt - 1)
+            remaining = max(0.0, self.backoff_budget_seconds - spent)
+            base = float(min(self._raw_delay(attempt), remaining))
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * (1.0 - self.jitter * self._jitter_draw(attempt, key))
 
     def total_backoff(self, attempts: int) -> float:
         """Cumulative sleep before attempts ``2..attempts`` (with the
-        budget applied) — never exceeds ``backoff_budget_seconds``."""
+        budget applied) — never exceeds ``backoff_budget_seconds``.
+        With jitter this is an upper bound: jitter only shortens
+        individual delays."""
         total = 0.0
         for attempt in range(2, attempts + 1):
             step = self._raw_delay(attempt)

@@ -167,7 +167,7 @@ class TaskGraphRunner:
         def fail(task: Task, attempt: int, error: BaseException) -> None:
             policy = self._policy_for(task)
             if policy.should_retry(attempt, error):
-                delay = policy.delay(attempt + 1)
+                delay = policy.delay(attempt + 1, key=task.name)
                 logger.debug(
                     "task %s attempt %d failed (%s); retrying in %.2fs",
                     task.name, attempt, error, delay,

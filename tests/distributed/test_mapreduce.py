@@ -84,6 +84,81 @@ def engine_run(job, records):
     return LocalMapReduceEngine().run(job, records)
 
 
+def _count_map(key, line):
+    for word in line.split():
+        yield word, 1
+
+
+def _count_reduce(word, counts):
+    yield word, sum(counts)
+
+
+def _drop_all_map(_key, _value):
+    return []
+
+
+def _picklable_count_job(map_tasks=2):
+    return MapReduceJob(
+        name="wordcount",
+        map_fn=_count_map,
+        reduce_fn=_count_reduce,
+        map_tasks=map_tasks,
+    )
+
+
+class TestEdgeCases:
+    """Degenerate inputs that once lived only in callers' heads:
+    nothing to map, nothing to reduce, more workers than work."""
+
+    @pytest.fixture(params=["inline", "threads", "supervised"])
+    def any_engine(self, request):
+        if request.param == "inline":
+            engine = LocalMapReduceEngine()
+        elif request.param == "threads":
+            engine = LocalMapReduceEngine(4)
+        else:
+            engine = LocalMapReduceEngine(2, transport="process")
+        yield engine
+        engine.close()
+
+    def test_empty_record_list(self, any_engine):
+        output, stats = any_engine.run(_picklable_count_job(), [])
+        assert output == []
+        assert stats.reduce_tasks == []
+        assert sum(t.records_in for t in stats.map_tasks) == 0
+
+    def test_reduce_with_zero_keys(self, any_engine):
+        job = MapReduceJob(
+            name="void", map_fn=_drop_all_map, reduce_fn=_count_reduce
+        )
+        output, stats = any_engine.run(job, [(0, "a"), (1, "b")])
+        assert output == []
+        assert stats.reduce_tasks == []
+        assert sum(t.records_in for t in stats.map_tasks) == 2
+        assert sum(t.records_out for t in stats.map_tasks) == 0
+
+    def test_more_workers_than_records(self, any_engine):
+        output, stats = any_engine.run(
+            _picklable_count_job(map_tasks=8), [(0, "solo")]
+        )
+        assert dict(output) == {"solo": 1}
+        # splitting one record across 8 map tasks must not create
+        # phantom work or drop the record
+        assert sum(t.records_in for t in stats.map_tasks) == 1
+
+    def test_many_workers_agree_with_sequential(self):
+        records = [(i, "a b c a") for i in range(3)]
+        sequential, _ = LocalMapReduceEngine(1).run(
+            _picklable_count_job(), records
+        )
+        wide = LocalMapReduceEngine(16)
+        try:
+            parallel_out, _ = wide.run(_picklable_count_job(), records)
+        finally:
+            wide.close()
+        assert parallel_out == sequential
+
+
 class TestThreadedEngine:
     def test_equivalent_to_sequential(self):
         sequential, _s1 = LocalMapReduceEngine(n_workers=1).run(

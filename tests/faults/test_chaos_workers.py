@@ -1,0 +1,170 @@
+"""Chaos proof for the cross-process worker protocol: any *single*
+injected ``worker.*`` fault — including a real ``kill -9`` of a live
+worker process — within the supervisor's crash budget leaves the
+D-M2TD decomposition **byte-identical** to a fault-free run, at 1, 2,
+4 and 8 external workers, with the recovery metered on
+``faults.recovered`` and the worker counters.  Exhausted crash budgets
+degrade to inline execution with a visible counter — never a hang,
+never a silent wrong answer.
+
+Like the rest of the chaos suite, every plan is seeded from
+``M2TD_CHAOS_SEED`` so CI failures replay locally.
+"""
+
+import pytest
+
+from repro.distributed import LocalMapReduceEngine, distributed_m2td
+from repro.faults import FaultInjector, FaultSpec, plan_of, use_injector
+from repro.observability import get_metrics
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: One worker-level fault per case.  ``crash-worker`` at worker sites
+#: is a REAL SIGKILL of the live worker process.
+WORKER_FAULTS = [
+    pytest.param(
+        FaultSpec(site="worker.spawn", kind="crash-worker",
+                  target="worker-0", times=1),
+        id="spawn-sigkill",
+    ),
+    pytest.param(
+        FaultSpec(site="worker.spawn", kind="raise", target="worker-0",
+                  times=1),
+        id="spawn-raise",
+    ),
+    pytest.param(
+        FaultSpec(site="worker.heartbeat", kind="crash-worker",
+                  target="worker-0", times=1),
+        id="heartbeat-sigkill",
+    ),
+    pytest.param(
+        FaultSpec(site="worker.result", kind="corrupt", target="map-0",
+                  times=1),
+        id="result-corrupt",
+    ),
+    pytest.param(
+        FaultSpec(site="worker.result", kind="drop-output",
+                  target="map-0", times=1),
+        id="result-dropped",
+    ),
+    pytest.param(
+        FaultSpec(site="worker.result", kind="delay", target="map-0",
+                  times=1, delay_seconds=0.1),
+        id="result-delayed",
+    ),
+]
+
+
+def run_external(x1, x2, part, ranks, workers, **engine_kwargs):
+    engine = LocalMapReduceEngine(
+        workers,
+        transport="process",
+        heartbeat_seconds=0.1,
+        lease_seconds=5.0,
+        **engine_kwargs,
+    )
+    try:
+        return distributed_m2td(x1, x2, part, ranks, engine=engine)
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("spec", WORKER_FAULTS)
+def test_single_worker_fault_output_byte_identical(
+    spec, dm2td_inputs, fault_free_payload,
+    assert_identical_across_workers, chaos_seed,
+):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of([spec], seed=chaos_seed)
+    summaries = {}
+
+    def run(workers):
+        injector = FaultInjector(plan)  # fresh injector = replay
+        with use_injector(injector):
+            result = run_external(x1, x2, part, ranks, workers)
+        summaries[workers] = injector.summary()
+        return result
+
+    payload = assert_identical_across_workers(run, workers=WORKER_COUNTS)
+    assert payload == fault_free_payload
+    for workers, summary in summaries.items():
+        assert summary["injected"] >= 1, (
+            f"fault never fired with {workers} external workers"
+        )
+        if spec.kind != "delay":  # delays need no recovery
+            assert summary["recovered"] >= 1, (
+                f"fault not recovered with {workers} external workers"
+            )
+
+
+def test_fault_free_external_workers_match_in_process(
+    dm2td_inputs, fault_free_payload, assert_identical_across_workers,
+    dm2td_payload_fn,
+):
+    """The supervised engine is byte-identical to the in-process one
+    even with no faults at all — transport must never change math."""
+    x1, x2, part, ranks = dm2td_inputs
+    payload = assert_identical_across_workers(
+        lambda workers: run_external(x1, x2, part, ranks, workers),
+        workers=WORKER_COUNTS,
+    )
+    assert payload == fault_free_payload
+
+
+def test_engine_fault_recovers_on_external_workers(
+    dm2td_inputs, fault_free_payload, dm2td_payload_fn, chaos_seed,
+):
+    """A mapreduce-level fault ships to the worker as a directive,
+    raises there with full provenance, and the engine's attempt budget
+    absorbs it — same contract as in-process execution."""
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of(
+        [FaultSpec(site="mapreduce.map", kind="raise", target="map-0",
+                   times=1)],
+        seed=chaos_seed,
+    )
+    injector = FaultInjector(plan)
+    with use_injector(injector):
+        result = run_external(
+            x1, x2, part, ranks, 2, task_attempts=2,
+        )
+    assert dm2td_payload_fn(result) == fault_free_payload
+    assert injector.summary() == {"injected": 1, "recovered": 1}
+    assert sum(
+        stats.retried_tasks for stats in result.job_stats.values()
+    ) >= 1
+
+
+def test_respawns_and_recoveries_are_metered(dm2td_inputs, chaos_seed):
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of(
+        [FaultSpec(site="worker.spawn", kind="crash-worker",
+                   target="worker-0", times=1)],
+        seed=chaos_seed,
+    )
+    respawns_before = get_metrics().counter("worker.respawns").value
+    with use_injector(FaultInjector(plan)) as injector:
+        run_external(x1, x2, part, ranks, 2)
+    assert get_metrics().counter("worker.respawns").value > respawns_before
+    assert injector.summary()["recovered"] >= 1
+
+
+def test_exhausted_crash_budget_degrades_never_lies(
+    dm2td_inputs, fault_free_payload, dm2td_payload_fn, chaos_seed,
+):
+    """Spawns failing beyond the crash budget degrade the pool to
+    inline execution: the decomposition still comes out byte-identical
+    and the fallback is visible on ``worker.inline_fallbacks``."""
+    x1, x2, part, ranks = dm2td_inputs
+    plan = plan_of(
+        [FaultSpec(site="worker.spawn", kind="raise", target="worker-*",
+                   times=None)],
+        seed=chaos_seed,
+    )
+    before = get_metrics().counter("worker.inline_fallbacks").value
+    with use_injector(FaultInjector(plan)):
+        result = run_external(
+            x1, x2, part, ranks, 2, crash_budget=1,
+        )
+    assert dm2td_payload_fn(result) == fault_free_payload
+    assert get_metrics().counter("worker.inline_fallbacks").value > before

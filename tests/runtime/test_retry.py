@@ -48,6 +48,78 @@ class TestPolicy:
             RetryPolicy(backoff_factor=0.5)
         with pytest.raises(TaskGraphError):
             RetryPolicy(timeout_seconds=0)
+        with pytest.raises(TaskGraphError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(TaskGraphError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestJitter:
+    """Decorrelation jitter: deterministic per (seed, key, attempt),
+    decorrelated across keys, and only ever shortening delays."""
+
+    POLICY = RetryPolicy(
+        max_attempts=6,
+        backoff_seconds=0.1,
+        backoff_factor=2.0,
+        max_backoff_seconds=10.0,
+        jitter=0.5,
+        jitter_seed=7,
+    )
+
+    def test_same_key_replays_exactly(self):
+        first = [self.POLICY.delay(a, key="task-a") for a in range(2, 6)]
+        second = [self.POLICY.delay(a, key="task-a") for a in range(2, 6)]
+        assert first == second
+
+    def test_distinct_keys_decorrelate(self):
+        delays = {
+            key: self.POLICY.delay(2, key=key)
+            for key in ("worker-0", "worker-1", "worker-2", "worker-3")
+        }
+        assert len(set(delays.values())) == len(delays)
+
+    def test_jitter_only_shortens(self):
+        plain = RetryPolicy(
+            max_attempts=6,
+            backoff_seconds=0.1,
+            backoff_factor=2.0,
+            max_backoff_seconds=10.0,
+        )
+        for attempt in range(2, 6):
+            jittered = self.POLICY.delay(attempt, key="k")
+            base = plain.delay(attempt)
+            assert 0.0 < jittered <= base
+            # jitter=0.5 means at most half the delay is shaved off
+            assert jittered >= base * 0.5
+
+    def test_seed_changes_draws(self):
+        other = RetryPolicy(
+            max_attempts=6,
+            backoff_seconds=0.1,
+            jitter=0.5,
+            jitter_seed=8,
+        )
+        assert other.delay(2, key="k") != self.POLICY.delay(2, key="k")
+
+    def test_zero_jitter_is_exact_geometric(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_seconds=0.1, jitter=0.0
+        )
+        assert policy.delay(2, key="anything") == pytest.approx(0.1)
+        assert policy.delay(3, key="anything") == pytest.approx(0.2)
+
+    def test_budget_remains_hard_ceiling(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_seconds=1.0,
+            backoff_factor=2.0,
+            max_backoff_seconds=100.0,
+            backoff_budget_seconds=2.5,
+            jitter=1.0,
+        )
+        total = sum(policy.delay(a, key="t") for a in range(2, 11))
+        assert total <= 2.5 + 1e-9
 
 
 class TestSchedulerRetries:
