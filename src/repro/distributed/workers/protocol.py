@@ -103,11 +103,24 @@ class TaskMessage:
     (which never needs to pickle and so accepts closures).
     ``reply_directive`` is the child-side half of a parent-decided
     ``worker.result`` fault: corrupt, drop, or delay the reply.
+
+    ``trace_context`` propagates the parent's trace id so worker-side
+    spans stitch back under the dispatching span;
+    ``collect_telemetry`` asks the child to capture its spans/metrics/
+    events around the task (the supervisor sets it only on process
+    venues, and only while tracing or event logging is on — the
+    disabled path ships nothing and captures nothing).
+    ``telemetry_directive`` is the child-side half of a parent-decided
+    ``observability.telemetry`` fault: mangle the snapshot, never the
+    result.
     """
 
     task_id: str
     payload: Any
     reply_directive: Optional[FaultDirective] = None
+    trace_context: Optional[Any] = None
+    collect_telemetry: bool = False
+    telemetry_directive: Optional[FaultDirective] = None
 
 
 @dataclass(frozen=True)
@@ -117,6 +130,11 @@ class ResultMessage:
     ``payload`` holds pickled bytes plus their digest; the ``raw``
     flag marks an in-process reply whose value is carried directly
     (unpicklable results stay usable on the inline transport).
+
+    ``telemetry`` carries the worker's serialized telemetry snapshot
+    (JSON bytes) with its own digest, checksummed *separately* from
+    the result: a mangled snapshot must never poison a good result,
+    and a good snapshot must never launder a corrupt result.
     """
 
     task_id: str
@@ -124,6 +142,8 @@ class ResultMessage:
     payload: Any
     digest: str = ""
     raw: bool = False
+    telemetry: Optional[bytes] = field(default=None, repr=False)
+    telemetry_digest: str = ""
 
     def value(self) -> Any:
         """Verify and deserialise; raises CorruptReplyError on any
@@ -140,6 +160,22 @@ class ResultMessage:
             raise CorruptReplyError(
                 self.worker_id, self.task_id, f"undecodable payload: {exc}"
             ) from exc
+
+    def telemetry_snapshot(self) -> Optional[dict]:
+        """Verify and decode the telemetry snapshot, or ``None`` when
+        the reply carries none.  Raises ``ValueError`` on a digest
+        mismatch or undecodable bytes — the caller degrades to
+        supervisor-side-only observability, never a failed task."""
+        if self.telemetry is None:
+            return None
+        if checksum(self.telemetry) != self.telemetry_digest:
+            raise ValueError(
+                f"telemetry snapshot for task {self.task_id!r} from "
+                f"{self.worker_id!r}: checksum mismatch"
+            )
+        from ...observability.distributed import decode_snapshot
+
+        return decode_snapshot(self.telemetry)
 
 
 @dataclass(frozen=True)

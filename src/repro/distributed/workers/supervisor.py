@@ -50,7 +50,15 @@ from ...exceptions import (
 )
 from ...faults.directive import directive_for
 from ...faults.injector import get_injector
-from ...observability import get_metrics, span as _span
+from ...observability import (
+    Span,
+    emit,
+    get_event_log,
+    get_metrics,
+    get_tracer,
+    span as _span,
+)
+from ...observability.distributed import current_trace_context, merge_snapshot
 from ...runtime.retry import RetryPolicy
 from .protocol import (
     ErrorEnvelope,
@@ -111,6 +119,15 @@ class _Entry:
     expiries: int = 0
     ran_inline: bool = False
     heal_targets: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Dispatch bookkeeping for trace stitching: when the task last
+    #: went out (perf_counter for the dispatch span, wall clock for
+    #: clock-skew normalization of the child snapshot) and the decoded
+    #: telemetry awaiting the post-batch merge.
+    dispatched_perf: float = 0.0
+    dispatched_unix: float = 0.0
+    completed_perf: float = 0.0
+    expects_telemetry: bool = False
+    telemetry: Optional[dict] = None
 
     @property
     def finished(self) -> bool:
@@ -271,6 +288,7 @@ class WorkerSupervisor:
                 transport=self.transport.kind, tasks=len(entries),
             ) as sp:
                 self._run_entries(entries)
+                self._merge_telemetry(entries, sp)
                 sp.set(
                     respawns=self._respawns,
                     degraded=self._degraded,
@@ -373,6 +391,63 @@ class WorkerSupervisor:
                     )
                     slot.pending_heal = False
 
+    def _merge_telemetry(self, entries: List[_Entry], sp: Any) -> None:
+        """Stitch shipped worker telemetry into the parent's trace,
+        metrics, and event log, still inside the open batch span.
+
+        Every externally dispatched task gets a ``dispatch:<task_id>``
+        span under the batch span — even when its snapshot was dropped
+        or corrupted, which is exactly the degraded
+        "supervisor-side-only" view.  Child spans attach beneath the
+        dispatch span, clock-skew-normalized onto this tracer's
+        timeline; counters/histograms fold into the live registry with
+        ``worker.<id>`` attribution; buffered child events replay
+        tagged with their origin.
+        """
+        tracer = get_tracer()
+        registry = get_metrics()
+        events = get_event_log()
+        parent_open = isinstance(sp, Span)
+        for entry in entries:
+            dispatch = None
+            if (
+                tracer.enabled
+                and parent_open
+                and entry.dispatched_perf
+                and not entry.ran_inline
+            ):
+                dispatch = Span(
+                    tracer,
+                    f"dispatch:{entry.task_id}",
+                    "worker",
+                    {"worker": entry.worker_id, "requeues": entry.requeues},
+                )
+                dispatch.started = max(
+                    0.0, entry.dispatched_perf - tracer.epoch
+                )
+                ended = entry.completed_perf or time.perf_counter()
+                dispatch.wall_seconds = max(
+                    0.0, ended - entry.dispatched_perf
+                )
+                dispatch.thread = threading.current_thread().name
+                if entry.error is not None:
+                    dispatch.error = type(entry.error).__name__
+                sp.children.append(dispatch)
+            if entry.telemetry:
+                worker_id = entry.worker_id
+                if worker_id.startswith("worker-"):
+                    worker_id = worker_id[len("worker-"):]
+                merge_snapshot(
+                    entry.telemetry,
+                    parent_span=dispatch,
+                    tracer=tracer,
+                    registry=registry,
+                    events=events,
+                    dispatched_unix=entry.dispatched_unix,
+                    worker_id=worker_id,
+                )
+                entry.telemetry = None
+
     def _poll_timeout(self, now: float, live: List[_Slot]) -> float:
         deadlines = []
         for slot in live:
@@ -439,6 +514,12 @@ class WorkerSupervisor:
         slot.last_beat = now
         slot.counted_misses = 0
         slot.entry = None
+        emit(
+            "worker.spawn",
+            correlation_id=worker_id,
+            pid=handle.pid,
+            attempt=slot.spawn_attempts,
+        )
         if kill_after_spawn:
             # A real kill -9 of the live worker: death is discovered
             # by the loop (pipe EOF / liveness), recovery by respawn.
@@ -454,6 +535,12 @@ class WorkerSupervisor:
         logger.warning(
             "worker %s lost (%s); requeueing its lease", slot.worker_id,
             reason,
+        )
+        emit(
+            "worker.death",
+            correlation_id=slot.worker_id,
+            reason=reason,
+            task=slot.entry.task_id if slot.entry is not None else "",
         )
         entry = slot.entry
         slot.entry = None
@@ -492,6 +579,7 @@ class WorkerSupervisor:
         if not self._degraded:
             self._degraded = True
             get_metrics().gauge("worker.degraded").set(1)
+            emit("worker.degraded", reason=reason)
             logger.warning(
                 "degrading to inline execution (%s); remaining tasks "
                 "run in-process and are metered on "
@@ -548,10 +636,25 @@ class WorkerSupervisor:
                 self._run_inline(entry)
                 return
             metrics.counter("worker.bytes_sent").inc(len(payload))
+        # Telemetry only crosses a process boundary — the inline venue
+        # records straight into the live tracer/metrics/event log — and
+        # only while something is on to receive it, so the disabled
+        # path captures and ships nothing.
+        collect_telemetry = self.transport.requires_pickle and (
+            get_tracer().enabled or get_event_log().enabled
+        )
+        telemetry_directive = (
+            directive_for(injector, "observability.telemetry", entry.task_id)
+            if collect_telemetry
+            else None
+        )
         message = TaskMessage(
             task_id=entry.task_id,
             payload=payload,
             reply_directive=reply_directive,
+            trace_context=current_trace_context(f"dispatch:{entry.task_id}"),
+            collect_telemetry=collect_telemetry,
+            telemetry_directive=telemetry_directive,
         )
         try:
             slot.handle.send(message)
@@ -564,7 +667,16 @@ class WorkerSupervisor:
         slot.lease_deadline = now + self.lease_seconds
         entry.state = "running"
         entry.worker_id = slot.worker_id
+        entry.expects_telemetry = collect_telemetry
+        entry.dispatched_perf = time.perf_counter()
+        entry.dispatched_unix = time.time()
         metrics.counter("worker.tasks_dispatched").inc()
+        emit(
+            "worker.dispatch",
+            correlation_id=entry.task_id,
+            worker=slot.worker_id,
+            requeues=entry.requeues,
+        )
 
     def _on_message(
         self, slot: _Slot, by_task: Dict[str, _Entry], message, now: float
@@ -609,6 +721,34 @@ class WorkerSupervisor:
             entry.value = value
             entry.state = "done"
             entry.worker_id = message.worker_id
+            entry.completed_perf = time.perf_counter()
+            if entry.expects_telemetry:
+                # A mangled or missing snapshot costs visibility only:
+                # the task result above is already accepted; we meter
+                # the loss and fall back to supervisor-side-only spans.
+                try:
+                    entry.telemetry = message.telemetry_snapshot()
+                except ValueError as exc:
+                    entry.telemetry = None
+                    reason = str(exc)
+                else:
+                    reason = (
+                        "snapshot missing from reply"
+                        if entry.telemetry is None
+                        else ""
+                    )
+                if entry.telemetry is None:
+                    metrics.counter("worker.telemetry_dropped").inc()
+                    emit(
+                        "worker.telemetry_dropped",
+                        correlation_id=entry.task_id,
+                        worker=message.worker_id,
+                        reason=reason,
+                    )
+                    if injector.enabled:
+                        injector.note_recovery(
+                            "observability.telemetry", entry.task_id
+                        )
             if slot.entry is entry:
                 slot.entry = None
             if injector.enabled:
@@ -623,6 +763,7 @@ class WorkerSupervisor:
             entry.error = message.rebuild()
             entry.state = "failed"
             entry.worker_id = message.worker_id
+            entry.completed_perf = time.perf_counter()
             if slot.entry is entry:
                 slot.entry = None
             return

@@ -70,12 +70,46 @@ def execute_task(
     ``worker.result`` reply directives are applied here, after the
     work: corrupt flips the pickled bytes (the checksum then fails in
     the supervisor), drop never sends, delay stalls the reply.
+
+    When the message asks for telemetry (process venues with tracing
+    or event logging on), the task runs under
+    :func:`~repro.observability.distributed.capture` and its snapshot
+    rides home on the reply with its own digest.  An
+    ``observability.telemetry`` directive mangles only the snapshot —
+    the result bytes and their digest are computed first and are
+    never touched, so a telemetry fault can cost visibility but never
+    an answer.
     """
     try:
         fn = message.payload
         if isinstance(fn, bytes):
             fn = pickle.loads(fn)
-        value = fn()
+        telemetry_bytes: Optional[bytes] = None
+        telemetry_digest = ""
+        if message.collect_telemetry:
+            from ...observability.distributed import capture
+
+            with capture(
+                message.trace_context, worker=worker_id
+            ) as telemetry:
+                value = fn()
+            try:
+                telemetry_bytes = telemetry.encode()
+                telemetry_digest = checksum(telemetry_bytes)
+            except Exception:  # noqa: BLE001 — visibility only
+                telemetry_bytes, telemetry_digest = None, ""
+            t_directive = message.telemetry_directive
+            if t_directive is not None and telemetry_bytes is not None:
+                if t_directive.kind == "corrupt":
+                    telemetry_bytes = flip_bytes(telemetry_bytes)
+                elif t_directive.kind == "delay":
+                    time.sleep(t_directive.delay_seconds)
+                else:
+                    # drop-output (and anything unexpected): the
+                    # snapshot vanishes; the task result is untouched.
+                    telemetry_bytes, telemetry_digest = None, ""
+        else:
+            value = fn()
         directive = message.reply_directive
         try:
             payload = pickle.dumps(value)
@@ -83,6 +117,8 @@ def execute_task(
             return ResultMessage(
                 task_id=message.task_id, worker_id=worker_id,
                 payload=value, raw=True,
+                telemetry=telemetry_bytes,
+                telemetry_digest=telemetry_digest,
             )
         digest = checksum(payload)
         if directive is not None:
@@ -95,6 +131,8 @@ def execute_task(
         return ResultMessage(
             task_id=message.task_id, worker_id=worker_id,
             payload=payload, digest=digest,
+            telemetry=telemetry_bytes,
+            telemetry_digest=telemetry_digest,
         )
     except BaseException as exc:  # noqa: BLE001 — envelope carries it
         return ErrorEnvelope.capture(message.task_id, worker_id, exc)

@@ -316,3 +316,8 @@ class ExperimentError(ReproError, RuntimeError):
 class BenchError(ReproError, RuntimeError):
     """The benchmark harness hit an invalid workload, document, or
     comparison (unknown suite, malformed BENCH_*.json, schema drift)."""
+
+
+class SLOConfigError(ReproError, ValueError):
+    """An SLO objective file is malformed (unknown stat/op, missing
+    fields, non-JSON content)."""

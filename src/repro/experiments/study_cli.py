@@ -230,7 +230,10 @@ def main(argv=None) -> int:
             scheme["keep_probability"] = args.keep_probability
     runtime = Runtime(workers=args.workers, cache_dir=args.cache_dir)
     try:
-        with observe(args.trace, args.profile, args.metrics), inject_faults(
+        with observe(
+            args.trace, args.profile, args.metrics,
+            getattr(args, "events", None),
+        ), inject_faults(
             args.fault_plan, args.fault_seed
         ):
             with span(

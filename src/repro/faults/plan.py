@@ -39,6 +39,10 @@ SITES: Tuple[str, ...] = (
     "worker.spawn",        # worker (re)spawns; target = e.g. "worker-0"
     "worker.heartbeat",    # worker heartbeat loops; target = worker id
     "worker.result",       # worker task replies; target = task id
+    "observability.telemetry",  # telemetry snapshot in a reply;
+                                # target = task id — costs visibility
+                                # (supervisor-side-only spans), never
+                                # the task
 )
 
 #: Fault kinds a spec may request.
@@ -64,9 +68,11 @@ _KIND_SITES: Dict[str, Tuple[str, ...]] = {
     ),
     "corrupt": (
         "cache.read", "storage.block-read", "serving.factor-load",
-        "worker.result",
+        "worker.result", "observability.telemetry",
     ),
-    "drop-output": ("mapreduce.map", "worker.result"),
+    "drop-output": (
+        "mapreduce.map", "worker.result", "observability.telemetry",
+    ),
 }
 
 

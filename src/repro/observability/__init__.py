@@ -11,6 +11,17 @@ The instrumentation layer the rest of the stack reports into:
 :func:`write_chrome_trace` / :func:`flat_profile` / :func:`write_metrics`
     Exporters: ``chrome://tracing``-loadable JSON, a flat text
     self/cumulative profile per span category, and a JSON metrics dump.
+:class:`TraceContext` / :func:`capture` / :func:`merge_snapshot`
+    Distributed stitching: worker children record into local
+    tracer/metrics/event instances whose serialized snapshot rides
+    home in the reply envelope and folds back under the dispatching
+    span with ``worker.<id>`` attribution.
+:func:`emit` / :class:`EventLog`
+    Structured JSON-lines events with correlation ids shared across
+    the supervisor ↔ worker ↔ serving paths.
+:func:`evaluate_slos` / ``python -m repro.observability slo --check``
+    Declarative service-level objectives evaluated against a metrics
+    snapshot, with nonzero exit on breach.
 
 Span taxonomy (the categories the flat profile splits time across):
 
@@ -38,6 +49,28 @@ layer (tensor primitives included) can depend on it freely.
 """
 
 from .cli import add_observability_args, observe
+from .distributed import (
+    TelemetryEnvelope,
+    TelemetryTask,
+    TraceContext,
+    capture,
+    current_trace_context,
+    decode_snapshot,
+    encode_snapshot,
+    merge_snapshot,
+    merged_trace_signature,
+    span_from_dict,
+    span_to_dict,
+)
+from .events import (
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    emit,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
 from .exporters import (
     chrome_trace,
     flat_profile,
@@ -55,6 +88,13 @@ from .metrics import (
     set_metrics,
     use_metrics,
 )
+from .slo import (
+    SLObjective,
+    SLOReport,
+    SLOResult,
+    evaluate_slos,
+    load_objectives,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -69,6 +109,29 @@ from .tracer import (
 __all__ = [
     "add_observability_args",
     "observe",
+    "TelemetryEnvelope",
+    "TelemetryTask",
+    "TraceContext",
+    "capture",
+    "current_trace_context",
+    "decode_snapshot",
+    "encode_snapshot",
+    "merge_snapshot",
+    "merged_trace_signature",
+    "span_from_dict",
+    "span_to_dict",
+    "NULL_EVENT_LOG",
+    "EventLog",
+    "NullEventLog",
+    "emit",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
+    "SLObjective",
+    "SLOReport",
+    "SLOResult",
+    "evaluate_slos",
+    "load_objectives",
     "NULL_TRACER",
     "NullTracer",
     "Span",

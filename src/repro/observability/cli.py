@@ -1,11 +1,11 @@
 """Argparse glue shared by the CLIs: ``--trace`` / ``--profile`` /
-``--metrics`` flags and the session that honours them.
+``--metrics`` / ``--events`` flags and the session that honours them.
 
 Usage::
 
     add_observability_args(parser)
     args = parser.parse_args(argv)
-    with observe(args.trace, args.profile, args.metrics):
+    with observe(args.trace, args.profile, args.metrics, args.events):
         ...   # run; exporters fire on exit (also on error)
 """
 
@@ -16,10 +16,11 @@ import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .events import EventLog, set_event_log
 from .exporters import flat_profile, write_chrome_trace, write_metrics
 from .tracer import Tracer, use_tracer
 
-__all__ = ["add_observability_args", "observe"]
+__all__ = ["add_observability_args", "main", "observe"]
 
 
 def add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -42,6 +43,12 @@ def add_observability_args(parser: argparse.ArgumentParser) -> None:
         help="write the process metrics registry (counters/gauges/"
         "histograms) as JSON",
     )
+    group.add_argument(
+        "--events",
+        metavar="PATH",
+        help="append structured JSON-lines events (worker respawns, "
+        "shed queries, telemetry drops) with correlation ids",
+    )
 
 
 @contextmanager
@@ -49,12 +56,16 @@ def observe(
     trace_path: Optional[str] = None,
     profile_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> Iterator[Optional[Tracer]]:
     """Install a tracer when any trace output was requested and export
     everything on the way out (even when the run raised — a partial
     trace of a failed run is exactly when you want one)."""
     wants_trace = bool(trace_path or profile_path)
     tracer = Tracer() if wants_trace else None
+    events = EventLog(events_path) if events_path else None
+    if events is not None:
+        set_event_log(events)
     try:
         if tracer is not None:
             with use_tracer(tracer):
@@ -62,6 +73,9 @@ def observe(
         else:
             yield None
     finally:
+        if events is not None:
+            set_event_log(None)
+            events.close()
         if tracer is not None and trace_path:
             write_chrome_trace(tracer, trace_path)
         if tracer is not None and profile_path:
@@ -72,3 +86,103 @@ def observe(
                     handle.write(flat_profile(tracer) + "\n")
         if metrics_path:
             write_metrics(metrics_path)
+
+
+# ----------------------------------------------------------------------
+# python -m repro.observability
+# ----------------------------------------------------------------------
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from .metrics import get_metrics
+    from .slo import evaluate_slos, load_objectives
+
+    objectives = load_objectives(args.objectives)
+    if args.metrics:
+        with open(args.metrics) as handle:
+            snapshot = json.load(handle)
+    else:
+        snapshot = get_metrics().as_dict()
+    report = evaluate_slos(objectives, snapshot)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import json
+
+    shown = 0
+    with open(args.path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if args.event and not record.get("event", "").startswith(
+                args.event
+            ):
+                continue
+            if args.correlation and (
+                record.get("correlation_id") != args.correlation
+            ):
+                continue
+            print(json.dumps(record, sort_keys=True))
+            shown += 1
+    print(f"{shown} matching event(s)", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """``python -m repro.observability`` — SLO checks and event greps."""
+    parser = argparse.ArgumentParser(
+        prog="repro.observability",
+        description="Evaluate SLOs against a metrics dump; filter "
+        "structured event logs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    slo = commands.add_parser(
+        "slo", help="evaluate declarative objectives against metrics"
+    )
+    slo.add_argument(
+        "--objectives",
+        required=True,
+        metavar="PATH",
+        help="JSON objective file (e.g. benchmarks/slo/default.json)",
+    )
+    slo.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="metrics JSON dump to evaluate (from a --metrics run); "
+        "defaults to this process's live registry",
+    )
+    slo.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any objective breaches",
+    )
+    slo.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    slo.set_defaults(fn=_cmd_slo)
+
+    events = commands.add_parser(
+        "events", help="filter a JSON-lines event log"
+    )
+    events.add_argument("path", help="event .jsonl file (from --events)")
+    events.add_argument(
+        "--event", metavar="PREFIX", help="keep events whose name starts with this"
+    )
+    events.add_argument(
+        "--correlation", metavar="ID", help="keep events with this correlation id"
+    )
+    events.set_defaults(fn=_cmd_events)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)

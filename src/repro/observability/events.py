@@ -1,0 +1,190 @@
+"""Structured JSON-lines event log with cross-process correlation IDs.
+
+Spans answer "where did the time go", metrics answer "how much";
+events answer "what *happened*, in order, and to which request".  One
+record per noteworthy occurrence — a worker respawn, a shed query, a
+dropped telemetry snapshot — each carrying a ``correlation_id`` shared
+across the supervisor ↔ worker ↔ serving paths, so the full story of
+one task or query is a single grep away::
+
+    {"ts": 1754650000.123, "pid": 4242, "event": "worker.respawn",
+     "correlation_id": "worker-2", "attempt": 1}
+
+Like the tracer, the default is a no-op :class:`NullEventLog`, so the
+emit sites sprinkled through hot-ish paths cost one attribute check
+while the feature is off.  A live :class:`EventLog` buffers records in
+memory (for telemetry shipping and tests) and can append to a
+``.jsonl`` file as records arrive (the ``--events`` CLI flag).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_EVENT_LOG",
+    "EventLog",
+    "NullEventLog",
+    "emit",
+    "get_event_log",
+    "set_event_log",
+    "use_event_log",
+]
+
+
+def _json_default(value: Any) -> str:
+    return repr(value)
+
+
+class EventLog:
+    """Collects structured event records, optionally teeing to a file."""
+
+    enabled = True
+
+    def __init__(self, path: Optional[str] = None):
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._path = path
+        self._handle = open(path, "a") if path else None
+
+    def emit(
+        self, event: str, correlation_id: str = "", **fields: Any
+    ) -> Dict[str, Any]:
+        """Record one event; extra ``fields`` land in the record as-is."""
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "event": event,
+            "correlation_id": correlation_id,
+        }
+        record.update(fields)
+        with self._lock:
+            self._records.append(record)
+            if self._handle is not None:
+                self._handle.write(
+                    json.dumps(record, sort_keys=True, default=_json_default)
+                    + "\n"
+                )
+                self._handle.flush()
+        return record
+
+    def ingest(self, records: List[Dict[str, Any]]) -> None:
+        """Fold records produced elsewhere (a worker's buffered log)
+        into this log, preserving their original ``ts``/``pid``."""
+        with self._lock:
+            for record in records:
+                self._records.append(dict(record))
+                if self._handle is not None:
+                    self._handle.write(
+                        json.dumps(
+                            record, sort_keys=True, default=_json_default
+                        )
+                        + "\n"
+                    )
+            if self._handle is not None and records:
+                self._handle.flush()
+
+    def records(
+        self,
+        event: Optional[str] = None,
+        correlation_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Buffered records, optionally filtered by event-name prefix
+        and/or exact correlation id."""
+        with self._lock:
+            found = list(self._records)
+        if event is not None:
+            found = [r for r in found if r["event"].startswith(event)]
+        if correlation_id is not None:
+            found = [r for r in found if r["correlation_id"] == correlation_id]
+        return found
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def export_records(self) -> List[Dict[str, Any]]:
+        """JSON-ready copy of the buffer (the telemetry-shipping path)."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records = []
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class NullEventLog:
+    """The disabled default: drops everything, allocates nothing."""
+
+    enabled = False
+
+    def emit(self, event: str, correlation_id: str = "", **fields: Any) -> None:
+        return None
+
+    def ingest(self, records: List[Dict[str, Any]]) -> None:
+        pass
+
+    def records(self, *args: Any, **kwargs: Any) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def export_records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+_active: Any = NULL_EVENT_LOG
+
+
+def get_event_log() -> Any:
+    """The process-wide active event log (no-op unless switched on)."""
+    return _active
+
+
+def set_event_log(log: Optional[Any]) -> None:
+    """Install ``log`` process-wide; ``None`` restores the no-op."""
+    global _active
+    _active = log if log is not None else NULL_EVENT_LOG
+
+
+def emit(event: str, correlation_id: str = "", **fields: Any) -> None:
+    """Emit one event on the active log (no-op while disabled).
+
+    The one call instrumented sites use::
+
+        emit("serving.shed", correlation_id=request_id, depth=depth)
+    """
+    log = _active
+    if log.enabled:
+        log.emit(event, correlation_id=correlation_id, **fields)
+
+
+@contextmanager
+def use_event_log(log: Optional[Any] = None) -> Iterator[Any]:
+    """Temporarily install an (in-memory by default) event log."""
+    previous = _active
+    set_event_log(log if log is not None else EventLog())
+    try:
+        yield _active
+    finally:
+        set_event_log(previous)

@@ -15,6 +15,7 @@ Three output formats, matched to three consumers:
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, get_metrics
@@ -53,30 +54,52 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     Every span becomes one complete (``"ph": "X"``) event with
     microsecond timestamps relative to the tracer epoch; threads map to
     ``tid`` rows named by metadata events, so executor workers show up
-    as their own swimlanes.
+    as their own swimlanes.  Spans merged in from *other* processes
+    (worker telemetry) keep their originating pid, so each worker
+    renders as its own named process lane instead of everything being
+    flattened onto one row.
     """
     events: List[Dict[str, Any]] = []
-    thread_ids: Dict[str, int] = {}
+    thread_ids: Dict[Tuple[int, str], int] = {}
+    named_pids: Dict[int, str] = {}
+    local_pid = os.getpid()
 
-    def tid_for(thread: str) -> int:
-        if thread not in thread_ids:
-            thread_ids[thread] = len(thread_ids) + 1
+    def pid_for(span: Span) -> int:
+        pid = span.process_id or local_pid
+        if pid not in named_pids:
+            named_pids[pid] = span.process_name or "main"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": named_pids[pid]},
+                }
+            )
+        return pid
+
+    def tid_for(pid: int, thread: str) -> int:
+        key = (pid, thread)
+        if key not in thread_ids:
+            thread_ids[key] = len(thread_ids) + 1
             events.append(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 1,
-                    "tid": thread_ids[thread],
+                    "pid": pid,
+                    "tid": thread_ids[key],
                     "args": {"name": thread or "unknown"},
                 }
             )
-        return thread_ids[thread]
+        return thread_ids[key]
 
     for span in tracer.iter_spans():
         args = {k: _json_safe(v) for k, v in span.attrs.items()}
         args["cpu_seconds"] = round(span.cpu_seconds, 6)
         if span.error is not None:
             args["error"] = span.error
+        pid = pid_for(span)
         events.append(
             {
                 "name": span.name,
@@ -84,8 +107,8 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
                 "ph": "X",
                 "ts": span.started * 1e6,
                 "dur": span.wall_seconds * 1e6,
-                "pid": 1,
-                "tid": tid_for(span.thread),
+                "pid": pid,
+                "tid": tid_for(pid, span.thread),
                 "args": args,
             }
         )

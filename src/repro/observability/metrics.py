@@ -137,6 +137,48 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def export_state(self) -> Dict[str, Any]:
+        """Mergeable state: summary stats *plus* the retained samples,
+        so a receiving registry can fold this histogram in without
+        losing its percentiles (the distributed-telemetry path)."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "samples": list(self._samples),
+            }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`export_state` into this one.
+
+        Count/sum/min/max add exactly; the sample buffers concatenate
+        and re-decimate deterministically, so merged percentiles stay
+        an even subsample of the combined stream.
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        low = state.get("min")
+        high = state.get("max")
+        with self._lock:
+            self.count += count
+            self.total += float(state.get("sum", 0.0))
+            if low is not None:
+                self.min = low if self.min is None else min(self.min, low)
+            if high is not None:
+                self.max = (
+                    high if self.max is None else max(self.max, high)
+                )
+            self._samples.extend(
+                float(v) for v in state.get("samples", ())
+            )
+            while len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
 
 class MetricsRegistry:
     """Named metrics, created on first use, one instance per name.
@@ -201,6 +243,51 @@ class MetricsRegistry:
         cross-contaminate the reported window.
         """
         return diff_snapshots(before, self.snapshot())
+
+    def export_state(self) -> Dict[str, Dict[str, Any]]:
+        """A mergeable snapshot: like :meth:`as_dict` but histograms
+        carry their retained samples so :meth:`merge_state` can fold
+        them without flattening the percentiles."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {
+            name: (
+                metric.export_state()
+                if isinstance(metric, Histogram)
+                else metric.as_dict()
+            )
+            for name, metric in items
+        }
+
+    def merge_state(
+        self, state: Dict[str, Dict[str, Any]], worker_id: str = ""
+    ) -> None:
+        """Fold another registry's :meth:`export_state` into this one.
+
+        Counters and histograms add into the global metric of the same
+        name; when ``worker_id`` is given each also adds into a
+        ``worker.<id>.<name>`` attributed copy, so per-worker
+        breakdowns survive the merge.  Gauges fold as the attributed
+        copy *only* — a global last-write across workers would depend
+        on arrival order.
+        """
+        prefix = f"worker.{worker_id}." if worker_id else ""
+        for name, metric in sorted(state.items()):
+            kind = metric.get("kind")
+            if kind == "counter":
+                value = float(metric.get("value") or 0.0)
+                if value:
+                    self.counter(name).inc(value)
+                    if prefix:
+                        self.counter(prefix + name).inc(value)
+            elif kind == "gauge":
+                value = metric.get("value")
+                if value is not None:
+                    self.gauge((prefix + name) if prefix else name).set(value)
+            elif kind == "histogram":
+                self.histogram(name).merge_state(metric)
+                if prefix:
+                    self.histogram(prefix + name).merge_state(metric)
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

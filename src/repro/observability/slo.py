@@ -1,0 +1,331 @@
+"""Declarative service-level objectives evaluated against a metrics dump.
+
+An *objective* is a small JSON record naming a metric, the statistic to
+read off it, a comparison, and a threshold::
+
+    {"name": "serving-p99", "metric": "serving.latency_seconds",
+     "stat": "p99", "op": "<=", "threshold": 0.25}
+
+Rates divide one metric by the sum of several::
+
+    {"name": "shed-rate", "metric": "serving.shed", "stat": "rate",
+     "denominator": ["serving.shed", "serving.served"],
+     "op": "<=", "threshold": 0.05}
+
+Objectives evaluate against a registry snapshot — either the live
+process registry or a ``--metrics`` JSON dump — and the report powers
+``python -m repro.observability slo --check``, which exits nonzero on
+any breach (CI runs it warn-only against
+``benchmarks/slo/default.json``).
+
+A missing metric *skips* the objective (the run simply didn't exercise
+that subsystem) unless the objective says ``"required": true``, in
+which case absence is itself a breach.  For ``rate``, a missing
+numerator or an all-zero denominator reads as a rate of ``0.0`` —
+"nothing shed out of nothing served" is a healthy idle system, not an
+error.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..exceptions import SLOConfigError
+
+__all__ = [
+    "SLObjective",
+    "SLOReport",
+    "SLOResult",
+    "evaluate_slos",
+    "load_objectives",
+]
+
+#: Statistics an objective may read.  ``value`` works on counters and
+#: gauges; the rest address histogram summary fields; ``rate`` divides
+#: the metric's scalar by the summed scalars of ``denominator``.
+STATS = (
+    "value",
+    "count",
+    "sum",
+    "mean",
+    "min",
+    "max",
+    "p50",
+    "p90",
+    "p99",
+    "rate",
+)
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+
+class SLObjective:
+    """One declarative objective against one metric."""
+
+    __slots__ = (
+        "name",
+        "metric",
+        "stat",
+        "op",
+        "threshold",
+        "denominator",
+        "required",
+        "description",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        stat: str,
+        op: str,
+        threshold: float,
+        denominator: Sequence[str] = (),
+        required: bool = False,
+        description: str = "",
+    ):
+        if stat not in STATS:
+            raise SLOConfigError(
+                f"objective {name!r}: unknown stat {stat!r} "
+                f"(choose from {', '.join(STATS)})"
+            )
+        if op not in _OPS:
+            raise SLOConfigError(
+                f"objective {name!r}: unknown op {op!r} "
+                f"(choose from {', '.join(sorted(_OPS))})"
+            )
+        if stat == "rate" and not denominator:
+            raise SLOConfigError(
+                f"objective {name!r}: stat 'rate' needs a denominator"
+            )
+        self.name = name
+        self.metric = metric
+        self.stat = stat
+        self.op = op
+        self.threshold = float(threshold)
+        self.denominator = tuple(denominator)
+        self.required = bool(required)
+        self.description = description
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SLObjective":
+        try:
+            return cls(
+                name=data["name"],
+                metric=data["metric"],
+                stat=data.get("stat", "value"),
+                op=data["op"],
+                threshold=data["threshold"],
+                denominator=data.get("denominator", ()),
+                required=data.get("required", False),
+                description=data.get("description", ""),
+            )
+        except KeyError as exc:
+            raise SLOConfigError(
+                f"objective record missing field {exc.args[0]!r}: {data!r}"
+            ) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "metric": self.metric,
+            "stat": self.stat,
+            "op": self.op,
+            "threshold": self.threshold,
+        }
+        if self.denominator:
+            record["denominator"] = list(self.denominator)
+        if self.required:
+            record["required"] = True
+        if self.description:
+            record["description"] = self.description
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"SLObjective({self.name!r}: {self.metric}.{self.stat} "
+            f"{self.op} {self.threshold})"
+        )
+
+
+def _scalar(state: Optional[Dict[str, Any]]) -> float:
+    """The natural magnitude of a metric: a counter/gauge's value, a
+    histogram's count — what rate numerators and denominators sum."""
+    if state is None:
+        return 0.0
+    if state.get("kind") == "histogram":
+        return float(state.get("count") or 0.0)
+    return float(state.get("value") or 0.0)
+
+
+class SLOResult:
+    """One objective's outcome against one snapshot."""
+
+    __slots__ = ("objective", "status", "value", "detail")
+
+    OK = "ok"
+    BREACH = "breach"
+    SKIPPED = "skipped"
+
+    def __init__(
+        self,
+        objective: SLObjective,
+        status: str,
+        value: Optional[float],
+        detail: str = "",
+    ):
+        self.objective = objective
+        self.status = status
+        self.value = value
+        self.detail = detail
+
+    @property
+    def ok(self) -> bool:
+        return self.status != self.BREACH
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.objective.name,
+            "metric": self.objective.metric,
+            "stat": self.objective.stat,
+            "op": self.objective.op,
+            "threshold": self.objective.threshold,
+            "status": self.status,
+            "value": self.value,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        objective = self.objective
+        shown = "n/a" if self.value is None else f"{self.value:.6g}"
+        line = (
+            f"[{self.status.upper():7s}] {objective.name}: "
+            f"{objective.metric}.{objective.stat} = {shown} "
+            f"{objective.op} {objective.threshold:g}"
+        )
+        if self.detail:
+            line += f"  ({self.detail})"
+        return line
+
+
+class SLOReport:
+    """Every objective's result; ``ok`` iff nothing breached."""
+
+    def __init__(self, results: List[SLOResult]):
+        self.results = results
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def breaches(self) -> List[SLOResult]:
+        return [r for r in self.results if r.status == SLOResult.BREACH]
+
+    @property
+    def skipped(self) -> List[SLOResult]:
+        return [r for r in self.results if r.status == SLOResult.SKIPPED]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def render(self) -> str:
+        lines = [result.render() for result in self.results]
+        checked = len(self.results) - len(self.skipped)
+        lines.append(
+            f"{len(self.breaches)} breached / {checked} checked / "
+            f"{len(self.skipped)} skipped"
+        )
+        return "\n".join(lines)
+
+
+def _evaluate_one(
+    objective: SLObjective, snapshot: Dict[str, Dict[str, Any]]
+) -> SLOResult:
+    state = snapshot.get(objective.metric)
+
+    if objective.stat == "rate":
+        denominator = sum(
+            _scalar(snapshot.get(name)) for name in objective.denominator
+        )
+        if denominator <= 0.0:
+            value: Optional[float] = 0.0
+            detail = "empty denominator; rate reads 0"
+        else:
+            value = _scalar(state) / denominator
+            detail = f"denominator={denominator:g}"
+    elif state is None:
+        if objective.required:
+            return SLOResult(
+                objective,
+                SLOResult.BREACH,
+                None,
+                f"required metric {objective.metric!r} absent",
+            )
+        return SLOResult(
+            objective,
+            SLOResult.SKIPPED,
+            None,
+            f"metric {objective.metric!r} absent",
+        )
+    else:
+        raw = state.get(objective.stat)
+        if raw is None and objective.stat == "value":
+            raw = _scalar(state)
+        if raw is None:
+            return SLOResult(
+                objective,
+                SLOResult.SKIPPED,
+                None,
+                f"{objective.metric!r} has no {objective.stat!r} yet",
+            )
+        value = float(raw)
+        detail = ""
+
+    assert value is not None
+    passed = _OPS[objective.op](value, objective.threshold)
+    return SLOResult(
+        objective,
+        SLOResult.OK if passed else SLOResult.BREACH,
+        value,
+        detail,
+    )
+
+
+def evaluate_slos(
+    objectives: Sequence[SLObjective],
+    snapshot: Dict[str, Dict[str, Any]],
+) -> SLOReport:
+    """Evaluate every objective against one registry snapshot
+    (:meth:`MetricsRegistry.as_dict` shape, or a ``--metrics`` dump
+    loaded back from JSON)."""
+    return SLOReport([_evaluate_one(o, snapshot) for o in objectives])
+
+
+def load_objectives(path: str) -> List[SLObjective]:
+    """Objectives from a JSON file: either a bare list of records or
+    ``{"objectives": [...]}`` (the committed-default shape, which
+    leaves room for top-level metadata)."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SLOConfigError(f"{path}: not JSON ({exc})") from exc
+    records = (
+        document.get("objectives") if isinstance(document, dict) else document
+    )
+    if not isinstance(records, list):
+        raise SLOConfigError(
+            f"{path}: expected a list of objectives or an "
+            "{'objectives': [...]} document"
+        )
+    return [SLObjective.from_dict(record) for record in records]

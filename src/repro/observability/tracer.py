@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -51,6 +52,8 @@ class Span:
         "children",
         "thread",
         "error",
+        "process_id",
+        "process_name",
         "_tracer",
         "_cpu_started",
     )
@@ -68,6 +71,11 @@ class Span:
         self.children: List["Span"] = []
         self.thread = ""
         self.error: Optional[str] = None
+        #: Originating process: 0 / "" mean "this process"; merged
+        #: worker spans carry the child's real pid and a worker label,
+        #: which the Chrome exporter turns into separate pid lanes.
+        self.process_id = 0
+        self.process_name = ""
         self._tracer = tracer
         self._cpu_started = 0.0
 
@@ -137,6 +145,13 @@ class Tracer:
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
+        #: Wall-clock time of the epoch — what lets spans recorded by a
+        #: *different* process (its own perf_counter domain) be mapped
+        #: onto this tracer's timeline during a distributed merge.
+        self.epoch_unix = time.time()
+        #: Correlates spans across processes: the id rides inside every
+        #: propagated TraceContext and comes back in worker telemetry.
+        self.trace_id = uuid.uuid4().hex[:16]
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: List[Span] = []
@@ -251,6 +266,8 @@ class NullTracer:
 
     enabled = False
     epoch = 0.0
+    epoch_unix = 0.0
+    trace_id = ""
 
     def span(self, name: str, category: str = "misc", **attrs: Any) -> _NullSpan:
         return _NULL_SPAN

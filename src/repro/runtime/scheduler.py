@@ -38,6 +38,12 @@ from ..exceptions import (
 )
 from ..faults.injector import get_injector
 from ..observability import get_metrics, get_tracer
+from ..observability.distributed import (
+    TelemetryEnvelope,
+    TelemetryTask,
+    current_trace_context,
+    merge_snapshot,
+)
 from .cache import ResultCache, fingerprint
 from .executors import Executor, InlineExecutor, ProcessExecutor, ThreadExecutor
 from .graph import Task, TaskGraph, TaskOutput
@@ -64,6 +70,9 @@ class _Attempt:
     attempt: int
     started: float
     deadline: Optional[float]
+    #: Wall clock at submission — maps a process-attempt's telemetry
+    #: snapshot onto this tracer's timeline during the merge.
+    dispatched_unix: float = 0.0
 
 
 def _resolve(value: Any, results: Dict[str, Any]) -> Any:
@@ -153,6 +162,16 @@ class TaskGraphRunner:
                 # the effect fires on the task's executor so it flows
                 # through the ordinary failure path.
                 fn = injector.wrap_callable("runtime.task", task.name, fn)
+            if get_tracer().enabled and executor.kind == "process":
+                # A process-executor attempt records into its own
+                # tracer domain; wrap it so the child's telemetry
+                # rides home with the result (unwrapped on success
+                # below).  Tracing off → no wrap, zero overhead.
+                fn = TelemetryTask(
+                    fn,
+                    current_trace_context(f"dispatch:{task.name}"),
+                    label=task.name,
+                )
             if attempt == 1:
                 m.started_at = time.perf_counter()
             started = time.monotonic()
@@ -162,7 +181,10 @@ class TaskGraphRunner:
                 else None
             )
             future = executor.submit(fn, *args, **kwargs)
-            running[future] = _Attempt(task, attempt, started, deadline)
+            running[future] = _Attempt(
+                task, attempt, started, deadline,
+                dispatched_unix=time.time(),
+            )
 
         def fail(task: Task, attempt: int, error: BaseException) -> None:
             policy = self._policy_for(task)
@@ -260,7 +282,27 @@ class TaskGraphRunner:
                                 get_injector().note_recovery(
                                     "runtime.task", task.name
                                 )
-                            finish(task.name, future.result())
+                            value = future.result()
+                            if isinstance(value, TelemetryEnvelope):
+                                tracer = get_tracer()
+                                dispatch = None
+                                if tracer.enabled:
+                                    dispatch = tracer.record_span(
+                                        f"dispatch:{task.name}",
+                                        "runtime-task",
+                                        wall_seconds=elapsed,
+                                        worker=m.executor,
+                                    )
+                                merge_snapshot(
+                                    value.snapshot,
+                                    parent_span=dispatch,
+                                    tracer=tracer,
+                                    dispatched_unix=(
+                                        attempt_info.dispatched_unix
+                                    ),
+                                )
+                                value = value.value
+                            finish(task.name, value)
                     else:
                         fail(task, attempt_info.attempt, error)
                 # expire attempts whose deadline passed without a result

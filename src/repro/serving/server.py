@@ -36,7 +36,7 @@ from ..exceptions import (
     ServingOverloadError,
 )
 from ..faults.injector import get_injector
-from ..observability import get_metrics, span as _span
+from ..observability import emit, get_metrics, span as _span
 from .catalog import StudyCatalog
 from .engine import _check_coords
 
@@ -206,7 +206,19 @@ class ServingServer:
         worker = self._worker_for(study)
         if worker.queue.qsize() >= self.max_queue:
             self.stats.shed += 1
-            get_metrics().counter("serving.shed").inc()
+            metrics = get_metrics()
+            metrics.counter("serving.shed").inc()
+            # A shed request waited zero seconds in the queue — record
+            # it anyway so queue-wait percentiles (and the SLO shed
+            # objectives reading them) see every admission decision,
+            # not just the requests that got in.
+            metrics.histogram("serving.queue_wait_seconds").observe(0.0)
+            emit(
+                "serving.shed",
+                correlation_id=f"{study}/{kind}",
+                depth=worker.queue.qsize(),
+                limit=self.max_queue,
+            )
             raise ServingOverloadError(
                 study, worker.queue.qsize(), self.max_queue
             )
@@ -348,6 +360,12 @@ class ServingServer:
         if error is not None:
             self.stats.errors += 1
             metrics.counter("serving.errors").inc()
+            # Labelled twin: break errors out by exception type so
+            # dashboards (and SLO objectives) can tell an overload
+            # from a corrupt bundle from a bad query.
+            metrics.counter(
+                f"serving.errors.{type(error).__name__}"
+            ).inc()
             request.future.set_exception(error)
         else:
             self.stats.served += 1

@@ -1,0 +1,101 @@
+"""Structured event log: buffering, file tee, correlation filters,
+module-level emit gating, and the ``events`` CLI subcommand.
+"""
+
+import json
+import os
+
+from repro.observability import (
+    EventLog,
+    NullEventLog,
+    emit,
+    get_event_log,
+    use_event_log,
+)
+from repro.observability.cli import main
+
+
+class TestEventLog:
+    def test_emit_records_envelope_fields(self):
+        log = EventLog()
+        record = log.emit(
+            "worker.spawn", correlation_id="worker-0", attempt=1
+        )
+        assert record["event"] == "worker.spawn"
+        assert record["correlation_id"] == "worker-0"
+        assert record["attempt"] == 1
+        assert record["pid"] == os.getpid()
+        assert record["ts"] > 0
+        assert len(log) == 1
+
+    def test_filters_by_prefix_and_correlation(self):
+        log = EventLog()
+        log.emit("worker.spawn", correlation_id="worker-0")
+        log.emit("worker.death", correlation_id="worker-0")
+        log.emit("serving.shed", correlation_id="demo/point")
+        assert len(log.records(event="worker.")) == 2
+        assert len(log.records(correlation_id="worker-0")) == 2
+        assert len(log.records(event="worker.", correlation_id="x")) == 0
+
+    def test_ingest_preserves_origin_ts_and_pid(self):
+        log = EventLog()
+        log.ingest([{"ts": 1.5, "pid": 999, "event": "task.start",
+                     "correlation_id": "map-0"}])
+        (record,) = log.export_records()
+        assert record["ts"] == 1.5
+        assert record["pid"] == 999
+
+    def test_tees_to_jsonl_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("a", correlation_id="1", unpicklable=object())
+        log.ingest([{"ts": 0.0, "pid": 1, "event": "b",
+                     "correlation_id": "2"}])
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(ln)["event"] for ln in lines] == ["a", "b"]
+
+    def test_clear_empties_buffer_only(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        log.emit("a")
+        log.clear()
+        log.close()
+        assert len(log) == 0
+        assert path.read_text().count("\n") == 1
+
+
+class TestModuleEmit:
+    def test_disabled_by_default(self):
+        assert isinstance(get_event_log(), NullEventLog)
+        emit("ignored.event")  # must be a silent no-op
+        assert len(get_event_log()) == 0
+
+    def test_emit_lands_on_installed_log(self):
+        with use_event_log() as log:
+            emit("test.event", correlation_id="c1", n=3)
+        assert log.records(event="test.")[0]["n"] == 3
+        assert isinstance(get_event_log(), NullEventLog)
+
+
+class TestEventsCli:
+    def write_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with use_event_log(EventLog(str(path))) as log:
+            log.emit("worker.spawn", correlation_id="worker-0")
+            log.emit("worker.telemetry_dropped", correlation_id="map-1")
+            log.close()
+        return str(path)
+
+    def test_filters_and_counts(self, tmp_path, capsys):
+        path = self.write_log(tmp_path)
+        assert main(["events", path, "--event", "worker.telemetry"]) == 0
+        out, err = capsys.readouterr()
+        assert json.loads(out)["correlation_id"] == "map-1"
+        assert "1 matching event(s)" in err
+
+    def test_correlation_filter(self, tmp_path, capsys):
+        path = self.write_log(tmp_path)
+        assert main(["events", path, "--correlation", "worker-0"]) == 0
+        out, _ = capsys.readouterr()
+        assert json.loads(out)["event"] == "worker.spawn"

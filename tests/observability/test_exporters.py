@@ -1,6 +1,7 @@
 """Exporters: Chrome-trace JSON validity, flat profile, metrics dump."""
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -58,10 +59,38 @@ class TestChromeTrace:
         spans = [e for e in events if e["ph"] == "X"]
         assert len(spans) == 3
         for event in spans:
-            assert event["pid"] == 1
+            assert event["pid"] == os.getpid()
             assert event["ts"] >= 0.0
             assert event["dur"] >= 0.0
             assert "cpu_seconds" in event["args"]
+
+    def test_local_process_named_main(self):
+        doc = chrome_trace(build_trace())
+        process_meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert len(process_meta) == 1
+        assert process_meta[0]["pid"] == os.getpid()
+        assert process_meta[0]["args"]["name"] == "main"
+
+    def test_remote_spans_get_their_own_pid_lane(self):
+        tracer = build_trace()
+        root = tracer.roots()[0]
+        root.children[0].process_id = 4242
+        root.children[0].process_name = "worker.3"
+        doc = chrome_trace(tracer)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert sorted({e["pid"] for e in spans}) == sorted(
+            {os.getpid(), 4242}
+        )
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[4242] == "worker.3"
+        assert names[os.getpid()] == "main"
 
     def test_attrs_are_json_serialisable(self):
         tracer = Tracer()

@@ -1,0 +1,246 @@
+"""SLO layer: objective validation, evaluation semantics, the
+``python -m repro.observability slo --check`` exit-code contract, and
+the committed default objective file.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import SLOConfigError
+from repro.observability import (
+    MetricsRegistry,
+    SLObjective,
+    evaluate_slos,
+    load_objectives,
+)
+from repro.observability.cli import main
+from repro.observability.slo import SLOResult
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OBJECTIVES = REPO_ROOT / "benchmarks" / "slo" / "default.json"
+
+
+def snapshot(**values):
+    """Counter-shaped snapshot from keyword values."""
+    return {
+        name: {"kind": "counter", "value": float(value)}
+        for name, value in values.items()
+    }
+
+
+class TestObjectiveValidation:
+    def test_unknown_stat_rejected(self):
+        with pytest.raises(SLOConfigError, match="unknown stat"):
+            SLObjective("o", "m", "p42", "<=", 1.0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SLOConfigError, match="unknown op"):
+            SLObjective("o", "m", "value", "~=", 1.0)
+
+    def test_rate_needs_denominator(self):
+        with pytest.raises(SLOConfigError, match="denominator"):
+            SLObjective("o", "m", "rate", "<=", 0.1)
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(SLOConfigError, match="missing field"):
+            SLObjective.from_dict({"name": "o", "metric": "m"})
+
+    def test_round_trips_through_dict(self):
+        objective = SLObjective(
+            "o", "m", "rate", "<=", 0.1,
+            denominator=("a", "b"), required=True,
+        )
+        clone = SLObjective.from_dict(objective.as_dict())
+        assert clone.as_dict() == objective.as_dict()
+
+
+class TestEvaluation:
+    def check_one(self, objective, snap):
+        (result,) = evaluate_slos([objective], snap).results
+        return result
+
+    def test_ok_and_breach(self):
+        objective = SLObjective("o", "errors", "value", "<=", 2.0)
+        assert self.check_one(objective, snapshot(errors=1)).status == "ok"
+        assert (
+            self.check_one(objective, snapshot(errors=3)).status == "breach"
+        )
+
+    def test_missing_metric_skips(self):
+        result = self.check_one(
+            SLObjective("o", "absent", "value", "<=", 1.0), {}
+        )
+        assert result.status == SLOResult.SKIPPED
+        assert result.ok
+
+    def test_missing_required_metric_breaches(self):
+        result = self.check_one(
+            SLObjective("o", "absent", "value", ">=", 1.0, required=True),
+            {},
+        )
+        assert result.status == SLOResult.BREACH
+        assert "absent" in result.detail
+
+    def test_rate_divides_by_denominator_sum(self):
+        objective = SLObjective(
+            "o", "shed", "rate", "<=", 0.1,
+            denominator=("served", "shed"),
+        )
+        result = self.check_one(objective, snapshot(shed=5, served=95))
+        assert result.value == pytest.approx(0.05)
+        assert result.status == "ok"
+
+    def test_rate_empty_denominator_reads_zero(self):
+        objective = SLObjective(
+            "o", "shed", "rate", "<=", 0.1, denominator=("served",)
+        )
+        result = self.check_one(objective, {})
+        assert result.value == 0.0
+        assert result.status == "ok"
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (0.1, 0.2, 0.3, 10.0):
+            histogram.observe(value)
+        snap = registry.as_dict()
+        p99 = SLObjective("p99", "latency", "p99", "<=", 1.0)
+        count = SLObjective("count", "latency", "count", ">=", 4)
+        report = evaluate_slos([p99, count], snap)
+        assert [r.status for r in report.results] == ["breach", "ok"]
+
+    def test_histogram_rate_uses_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        registry.histogram("lat").observe(2.0)
+        registry.counter("errors").inc()
+        objective = SLObjective(
+            "o", "errors", "rate", "<=", 0.75, denominator=("lat",)
+        )
+        (result,) = evaluate_slos(
+            [objective], registry.as_dict()
+        ).results
+        assert result.value == pytest.approx(0.5)
+
+    def test_report_render_has_footer(self):
+        report = evaluate_slos(
+            [SLObjective("o", "m", "value", "<=", 1.0)], snapshot(m=0)
+        )
+        assert "0 breached / 1 checked / 0 skipped" in report.render()
+
+
+class TestLoadObjectives:
+    def test_bare_list_and_wrapped_document(self, tmp_path):
+        record = {"name": "o", "metric": "m", "op": "<=", "threshold": 1}
+        for document in ([record], {"objectives": [record]}):
+            path = tmp_path / "slo.json"
+            path.write_text(json.dumps(document))
+            (loaded,) = load_objectives(str(path))
+            assert loaded.name == "o"
+            assert loaded.stat == "value"
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"not": "objectives"}')
+        with pytest.raises(SLOConfigError):
+            load_objectives(str(path))
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(SLOConfigError, match="not JSON"):
+            load_objectives(str(path))
+
+
+def healthy_dump():
+    """Metrics a clean traced 4-worker D-M2TD run produces (the shape
+    the CI observability job feeds to ``slo --check``)."""
+    return snapshot(
+        **{
+            "svd.calls": 6,
+            "worker.tasks_dispatched": 20,
+            "worker.bytes_sent": 74298,
+            "worker.bytes_received": 65576,
+        }
+    )
+
+
+class TestDefaultObjectiveFile:
+    def test_committed_defaults_load(self):
+        objectives = load_objectives(str(DEFAULT_OBJECTIVES))
+        assert {"decomposition-ran", "telemetry-drop-rate"} <= {
+            o.name for o in objectives
+        }
+
+    def test_clean_run_passes(self):
+        report = evaluate_slos(
+            load_objectives(str(DEFAULT_OBJECTIVES)), healthy_dump()
+        )
+        assert report.ok, report.render()
+
+    def test_breached_run_fails(self):
+        dump = healthy_dump()
+        dump.update(
+            snapshot(**{"worker.telemetry_dropped": 19, "worker.degraded": 1})
+        )
+        report = evaluate_slos(
+            load_objectives(str(DEFAULT_OBJECTIVES)), dump
+        )
+        assert not report.ok
+        assert {r.objective.name for r in report.breaches} == {
+            "telemetry-drop-rate",
+            "no-inline-degradation",
+        }
+
+
+class TestCliExitCodes:
+    def write_dump(self, tmp_path, dump):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(dump))
+        return str(path)
+
+    def test_check_exits_zero_on_clean_dump(self, tmp_path, capsys):
+        code = main([
+            "slo", "--objectives", str(DEFAULT_OBJECTIVES),
+            "--metrics", self.write_dump(tmp_path, healthy_dump()),
+            "--check",
+        ])
+        assert code == 0
+        assert "breached" in capsys.readouterr().out
+
+    def test_check_exits_one_on_breached_dump(self, tmp_path, capsys):
+        dump = healthy_dump()
+        dump.update(snapshot(**{"worker.degraded": 1}))
+        code = main([
+            "slo", "--objectives", str(DEFAULT_OBJECTIVES),
+            "--metrics", self.write_dump(tmp_path, dump),
+            "--check", "--json",
+        ])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+
+    def test_without_check_breaches_only_report(self, tmp_path):
+        dump = {"svd.calls": {"kind": "counter", "value": 0.0}}
+        code = main([
+            "slo", "--objectives", str(DEFAULT_OBJECTIVES),
+            "--metrics", self.write_dump(tmp_path, dump),
+        ])
+        assert code == 0
+
+    def test_module_entry_point(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.observability", "slo",
+                "--objectives", str(DEFAULT_OBJECTIVES),
+                "--metrics",
+                self.write_dump(tmp_path, healthy_dump()),
+                "--check",
+            ],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,97 @@
+"""Runtime process-executor telemetry: task functions dispatched to a
+process pool while tracing is on come back as telemetry envelopes the
+scheduler unwraps — child spans land under ``dispatch:<task>`` spans,
+child counters fold into the parent registry, and the cache stores the
+unwrapped value.
+"""
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    use_metrics,
+    use_tracer,
+)
+from repro.runtime import Runtime, TaskGraph
+
+
+def _traced_work(x):
+    from repro.observability import get_metrics, span
+
+    with span("child-work", "tensor-op", x=x):
+        get_metrics().counter("child.calls").inc()
+    return x * 2
+
+
+def run_graph(workers=2, trace=True):
+    tracer, registry = Tracer(), MetricsRegistry()
+    runtime = Runtime(workers=workers)
+    try:
+        graph = TaskGraph()
+        graph.add("double", _traced_work, 21, affinity="process")
+        if trace:
+            with use_tracer(tracer), use_metrics(registry):
+                results = runtime.run(graph)
+        else:
+            with use_metrics(registry):
+                results = runtime.run(graph)
+    finally:
+        runtime.shutdown()
+    return results, tracer, registry
+
+
+class TestProcessExecutorTelemetry:
+    def test_envelope_unwrapped_and_spans_merged(self):
+        results, tracer, registry = run_graph()
+        assert results["double"] == 42
+        dispatches = [
+            s for s in tracer.iter_spans() if s.name == "dispatch:double"
+        ]
+        assert len(dispatches) == 1
+        children = {c.name for c in dispatches[0].children}
+        assert "child-work" in children
+        child = next(
+            c for c in dispatches[0].children if c.name == "child-work"
+        )
+        assert child.process_id > 0
+        assert registry.as_dict()["child.calls"]["value"] == 1.0
+
+    def test_untraced_run_ships_nothing(self):
+        results, _, registry = run_graph(trace=False)
+        assert results["double"] == 42
+        assert "child.calls" not in registry.names()
+
+    def test_cache_stores_the_unwrapped_value(self):
+        tracer, registry = Tracer(), MetricsRegistry()
+        runtime = Runtime(workers=2)
+        try:
+            with use_tracer(tracer), use_metrics(registry):
+                for _ in range(2):
+                    graph = TaskGraph()
+                    graph.add(
+                        "double", _traced_work, 21,
+                        affinity="process", cache_key=("double", 21),
+                    )
+                    assert runtime.run(graph)["double"] == 42
+            state = registry.as_dict()
+            assert state["runtime.cache_hits"]["value"] == 1.0
+            # The cached replay ran no child process: one merge only.
+            assert state["child.calls"]["value"] == 1.0
+        finally:
+            runtime.shutdown()
+
+    def test_thread_affinity_records_into_live_globals(self):
+        tracer, registry = Tracer(), MetricsRegistry()
+        runtime = Runtime(workers=2)
+        try:
+            graph = TaskGraph()
+            graph.add("double", _traced_work, 21, affinity="thread")
+            with use_tracer(tracer), use_metrics(registry):
+                assert runtime.run(graph)["double"] == 42
+        finally:
+            runtime.shutdown()
+        # Same process: no dispatch indirection, spans recorded live.
+        assert not [
+            s for s in tracer.iter_spans()
+            if s.name.startswith("dispatch:")
+        ]
+        assert registry.as_dict()["child.calls"]["value"] == 1.0
