@@ -5,6 +5,11 @@ from .loop import (
     AdaptiveEnsembleBuilder,
     AdaptiveResult,
     AdaptiveRound,
+    cell_errors,
+    fixing_flat,
+    free_coords,
+    free_modes,
+    predict_cells,
     random_reference,
 )
 
@@ -12,5 +17,10 @@ __all__ = [
     "AdaptiveEnsembleBuilder",
     "AdaptiveResult",
     "AdaptiveRound",
+    "cell_errors",
+    "fixing_flat",
+    "free_coords",
+    "free_modes",
+    "predict_cells",
     "random_reference",
 ]

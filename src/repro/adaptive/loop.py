@@ -37,6 +37,69 @@ from ..tensor.random import SeedLike, make_rng
 from ..tensor.sparse import SparseTensor
 
 
+# ----------------------------------------------------------------------
+# sub-ensemble geometry + per-cell model error, shared with
+# repro.campaigns (the campaign allocator scores candidate cells with
+# exactly the builder's mismatch oracle).
+# ----------------------------------------------------------------------
+def free_modes(partition: PFPartition, which: int) -> Tuple[int, ...]:
+    """Original-tensor modes forming sub-system ``which``'s free space."""
+    return partition.s1_free if which == 1 else partition.s2_free
+
+
+def fixing_flat(partition: PFPartition, which: int) -> int:
+    """Flat free-space index of sub-system ``which``'s fixing
+    constants (where the *other* system's cells live in join space)."""
+    modes = free_modes(partition, which)
+    indices = tuple(partition.fixed_indices[m] for m in modes)
+    shape = tuple(partition.shape[m] for m in modes)
+    return int(np.ravel_multi_index(indices, shape))
+
+
+def free_coords(
+    partition: PFPartition, which: int, flat: np.ndarray
+) -> np.ndarray:
+    """Free-space coordinates for flat free-config indices."""
+    shape = tuple(partition.shape[m] for m in free_modes(partition, which))
+    return np.stack(np.unravel_index(flat, shape), axis=1)
+
+
+def predict_cells(
+    model: M2TDResult,
+    partition: PFPartition,
+    which: int,
+    free_flat: np.ndarray,
+    pivot_flat: int,
+) -> np.ndarray:
+    """Stitched-model predictions for sub-system cells at one pivot
+    configuration — the per-cell reconstruction oracle.  Comparing
+    these against freshly simulated values gives the model-mismatch
+    signal that drives both the adaptive builder's promotions and the
+    campaign orchestrator's budget allocation."""
+    reconstruction = model.tucker.reconstruct()
+    pivot_index = np.unravel_index(pivot_flat, partition.pivot_shape)
+    n_free1 = int(np.prod(partition.free_shape(1)))
+    n_free2 = int(np.prod(partition.free_shape(2)))
+    block = reconstruction[pivot_index].reshape(n_free1, n_free2)
+    free_flat = np.asarray(free_flat)
+    if which == 1:
+        return block[free_flat, fixing_flat(partition, 2)]
+    return block[fixing_flat(partition, 1), free_flat]
+
+
+def cell_errors(
+    model: M2TDResult,
+    partition: PFPartition,
+    which: int,
+    free_flat: np.ndarray,
+    observed: np.ndarray,
+    pivot_flat: int,
+) -> np.ndarray:
+    """Absolute model mismatch per probed cell."""
+    predicted = predict_cells(model, partition, which, free_flat, pivot_flat)
+    return np.abs(np.asarray(observed) - predicted)
+
+
 @dataclass
 class AdaptiveRound:
     """Diagnostics of one adaptive round."""
@@ -116,27 +179,13 @@ class AdaptiveEnsembleBuilder:
         # The frozen-side free index each sub-ensemble cell maps to in
         # join space (the other system's fixing constants).
         self._fixed_free_flat = {
-            1: self._frozen_flat(2),
-            2: self._frozen_flat(1),
+            1: fixing_flat(partition, 2),
+            2: fixing_flat(partition, 1),
         }
 
     # ------------------------------------------------------------------
-    def _frozen_flat(self, which: int) -> int:
-        """Flat free-space index of sub-system ``which``'s fixing
-        constants."""
-        modes = (
-            self.partition.s1_free if which == 1 else self.partition.s2_free
-        )
-        indices = tuple(self.partition.fixed_indices[m] for m in modes)
-        shape = tuple(self.partition.shape[m] for m in modes)
-        return int(np.ravel_multi_index(indices, shape))
-
     def _free_coords(self, which: int, flat: np.ndarray) -> np.ndarray:
-        modes = (
-            self.partition.s1_free if which == 1 else self.partition.s2_free
-        )
-        shape = tuple(self.partition.shape[m] for m in modes)
-        return np.stack(np.unravel_index(flat, shape), axis=1)
+        return free_coords(self.partition, which, flat)
 
     def _fiber_sub_coords(self, which: int, flat: np.ndarray) -> np.ndarray:
         """Sub-space coordinates of the full pivot fibers of the given
@@ -176,17 +225,9 @@ class AdaptiveEnsembleBuilder:
     def _predict(self, model: M2TDResult, which: int, free_flat: np.ndarray,
                  pivot_flat: int) -> np.ndarray:
         """Model predictions for sub-system cells at one pivot config."""
-        reconstruction = model.tucker.reconstruct()
-        pivot_index = np.unravel_index(pivot_flat, self.partition.pivot_shape)
-        free_shape1 = self.partition.free_shape(1)
-        free_shape2 = self.partition.free_shape(2)
-        block = reconstruction[pivot_index]
-        flat_block = block.reshape(
-            int(np.prod(free_shape1)), int(np.prod(free_shape2))
+        return predict_cells(
+            model, self.partition, which, free_flat, pivot_flat
         )
-        if which == 1:
-            return flat_block[free_flat, self._fixed_free_flat[1]]
-        return flat_block[self._fixed_free_flat[2], free_flat]
 
     # ------------------------------------------------------------------
     def run(self, total_cells: int, max_rounds: int = 50) -> AdaptiveResult:

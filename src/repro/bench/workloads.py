@@ -511,6 +511,54 @@ for _name, _kind, _clients, _queries, _batching, _desc in (
     )
 
 
+# ----------------------------------------------------------------------
+# suite: campaigns — the adaptive sample→decompose→resample loop
+# ----------------------------------------------------------------------
+def _epidemic_study(size: SizeSpec):
+    from ..core import EnsembleStudy
+    from ..simulation import make_system
+
+    key = ("epidemic_seir", size.resolution)
+    if key not in _STUDY_CACHE:
+        _STUDY_CACHE[key] = EnsembleStudy.create(
+            make_system("epidemic_seir"), size.resolution
+        )
+    return _STUDY_CACHE[key]
+
+
+@workload(
+    "campaign.epidemic",
+    "campaigns",
+    "ephemeral adaptive campaign on the epidemic study: explore sweep "
+    "+ three error-guided confirm rounds (journal in memory, study "
+    "pre-built)",
+)
+def _build_campaign_epidemic(size: SizeSpec) -> PreparedWorkload:
+    from ..campaigns import CampaignOrchestrator, CampaignSpec
+
+    study = _epidemic_study(size)
+    pivot_size = size.resolution
+    free_size = size.resolution ** 2
+    batch = 4 * pivot_size
+    explore_cost = 2 * max(1, round(0.25 * free_size)) * 2
+    spec = CampaignSpec(
+        scenario="epidemic_seir",
+        budget=explore_cost + 4 * batch,
+        batch=batch,
+        success_delta=1e-9,
+        resolution=size.resolution,
+        rank=size.rank,
+        seed=size.seed,
+        max_rounds=3,
+    )
+
+    def run():
+        with CampaignOrchestrator(spec, study=study) as orchestrator:
+            return orchestrator.run()
+
+    return PreparedWorkload(run)
+
+
 def size_for(mode: str) -> SizeSpec:
     """The :class:`SizeSpec` for a mode name (``full`` / ``quick``)."""
     if mode == "full":

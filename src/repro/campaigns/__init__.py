@@ -1,0 +1,57 @@
+"""repro.campaigns — adaptive simulation campaigns on the runtime.
+
+The campaign layer closes the sample → decompose → resample loop the
+paper's ensemble setting motivates: a declarative
+:class:`~repro.campaigns.spec.CampaignSpec` (scenario, total
+simulation budget, per-round batch, probe metric, success-delta
+stopping rule) drives a phased
+:class:`~repro.campaigns.orchestrator.CampaignOrchestrator` — a broad
+low-replication explore sweep, then focused confirm rounds whose
+batches are apportioned across probed configurations by per-cell
+stitched-reconstruction error
+(:func:`~repro.campaigns.allocator.allocate`).
+
+Every round is one cached, retried task graph on the shared
+:class:`~repro.runtime.Runtime`; every completed round is one
+checksummed line of an append-only journal
+(:mod:`repro.campaigns.state`).  Interrupt the process anywhere —
+including via the ``campaign.round`` and ``campaign.state`` fault
+sites — and ``python -m repro.campaigns resume`` replays the journal,
+re-runs the broken round off the result cache, and finishes with
+byte-identical state.
+
+See ``docs/campaigns.md`` for the spec schema and the resume contract.
+"""
+
+from .allocator import allocate
+from .orchestrator import (
+    CAMPAIGN_RETRY,
+    CampaignOrchestrator,
+    CampaignOutcome,
+)
+from .spec import ALLOCATIONS, METRICS, VARIANTS, CampaignSpec
+from .state import (
+    JOURNAL_NAME,
+    CampaignJournal,
+    JournalState,
+    RoundRecord,
+    journal_path,
+    read_journal,
+)
+
+__all__ = [
+    "allocate",
+    "CAMPAIGN_RETRY",
+    "CampaignOrchestrator",
+    "CampaignOutcome",
+    "ALLOCATIONS",
+    "METRICS",
+    "VARIANTS",
+    "CampaignSpec",
+    "JOURNAL_NAME",
+    "CampaignJournal",
+    "JournalState",
+    "RoundRecord",
+    "journal_path",
+    "read_journal",
+]

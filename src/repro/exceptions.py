@@ -321,3 +321,27 @@ class BenchError(ReproError, RuntimeError):
 class SLOConfigError(ReproError, ValueError):
     """An SLO objective file is malformed (unknown stat/op, missing
     fields, non-JSON content)."""
+
+
+class CampaignError(ReproError, RuntimeError):
+    """A campaign orchestration failure (see subclasses)."""
+
+
+class CampaignSpecError(CampaignError, ValueError):
+    """A campaign spec is malformed.  Carries the offending ``field``
+    so CLI and tests can point at the exact knob, never a bare
+    ``KeyError``."""
+
+    def __init__(self, field: str, message: str):
+        super().__init__(f"{field}: {message}")
+        self.field = field
+        self.detail = message
+
+    def __reduce__(self):
+        return (self.__class__, (self.field, self.detail))
+
+
+class CampaignStateError(CampaignError):
+    """A campaign's persisted journal cannot be used as asked (running
+    over existing progress, resuming a finished campaign, fingerprint
+    mismatch between journal and spec)."""

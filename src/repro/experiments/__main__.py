@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="MACH keep probability for --method sketched "
         "(1.0 short-circuits to exact; default 0.5)",
     )
+    parser.add_argument(
+        "--campaign-budget-fraction",
+        type=float,
+        default=0.88,
+        help="fraction of the full sub-space budget the ext-campaign "
+        "experiment may spend (default 0.88)",
+    )
     add_observability_args(parser)
     add_fault_args(parser)
     add_worker_args(parser)
@@ -93,13 +100,18 @@ def main(argv=None) -> int:
         return 0
     apply_worker_args(args)
     config = quick_config() if args.quick else default_config()
-    if args.method != "exact" or args.keep_probability != 0.5:
+    if (
+        args.method != "exact"
+        or args.keep_probability != 0.5
+        or args.campaign_budget_fraction != 0.88
+    ):
         from dataclasses import replace
 
         config = replace(
             config,
             method=args.method,
             keep_probability=args.keep_probability,
+            campaign_budget_fraction=args.campaign_budget_fraction,
         )
         config.validate()
     if args.all:

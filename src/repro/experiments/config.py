@@ -40,6 +40,10 @@ class ExperimentConfig:
         The ``P`` / ``E`` densities swept by Tables VI and VII.
     budget_fraction_low:
         The reduced-budget setting of Table V.
+    campaign_budget_fraction:
+        Fraction of the full sub-space budget an ``ext-campaign`` run
+        may spend (the 0.88 default matches the golden regression's
+        380-cell pin at resolution 6).
     seed:
         Base RNG seed for all sampling.
     method / keep_probability:
@@ -63,6 +67,7 @@ class ExperimentConfig:
     pivot_fractions: Tuple[float, ...] = (1.0, 0.5, 0.25)
     free_fractions: Tuple[float, ...] = (1.0, 0.5, 0.25)
     budget_fraction_low: float = 0.1
+    campaign_budget_fraction: float = 0.88
     pivots: Tuple[str, ...] = ("t", "phi1", "phi2", "m1", "m2")
     seed: int = 7
     method: str = "exact"
@@ -83,6 +88,11 @@ class ExperimentConfig:
             raise ExperimentError(
                 "keep_probability must be in (0, 1], got "
                 f"{self.keep_probability}"
+            )
+        if not 0.0 < self.campaign_budget_fraction <= 1.0:
+            raise ExperimentError(
+                "campaign_budget_fraction must be in (0, 1], got "
+                f"{self.campaign_budget_fraction}"
             )
 
 

@@ -12,6 +12,7 @@ from ..runtime import Runtime
 from . import (
     ext_adaptive,
     ext_baselines,
+    ext_campaign,
     ext_completion,
     ext_multiway,
     ext_noise,
@@ -48,6 +49,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig-budget": figures.run_budget_curve,
     "ext-adaptive": ext_adaptive.run,
     "ext-baselines": ext_baselines.run,
+    "ext-campaign": ext_campaign.run,
     "ext-completion": ext_completion.run,
     "ext-multiway": ext_multiway.run,
     "ext-noise": ext_noise.run,

@@ -43,6 +43,14 @@ SITES: Tuple[str, ...] = (
                                 # target = task id — costs visibility
                                 # (supervisor-side-only spans), never
                                 # the task
+    "campaign.round",      # campaign round boundary; target =
+                           # "<campaign>/round-<n>" — an injected
+                           # raise/crash kills the run mid-campaign,
+                           # which `campaigns resume` must heal
+    "campaign.state",      # campaign journal reads; target = campaign
+                           # name — corrupt bit-flips the journal so
+                           # resume's per-line checksums must
+                           # quarantine the damage
 )
 
 #: Fault kinds a spec may request.
@@ -65,10 +73,11 @@ _KIND_SITES: Dict[str, Tuple[str, ...]] = {
     "crash-worker": (
         "runtime.task", "executor.submit", "mapreduce.map",
         "mapreduce.reduce", "worker.spawn", "worker.heartbeat",
+        "campaign.round",
     ),
     "corrupt": (
         "cache.read", "storage.block-read", "serving.factor-load",
-        "worker.result", "observability.telemetry",
+        "worker.result", "observability.telemetry", "campaign.state",
     ),
     "drop-output": (
         "mapreduce.map", "worker.result", "observability.telemetry",

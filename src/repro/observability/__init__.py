@@ -42,6 +42,7 @@ runtime-task    task-graph metrics bridged from ``RuntimeReport``
 bench           one harness workload iteration (``repro.bench``)
 serving         factor-space queries, batch drains, bundle loads
 worker          supervised worker batches and (re)spawns
+campaign        adaptive campaign runs and their explore/confirm rounds
 ==============  ======================================================
 
 This package imports nothing from the rest of ``repro`` so that every

@@ -50,12 +50,14 @@ class TestRegistry:
             "serving.point_c1", "serving.point_c100",
             "serving.point_c100_unbatched", "serving.point_c10k",
             "serving.slice_c100", "serving.topk_c20",
+            "campaign.epidemic",
         ):
             assert expected in names, expected
 
     def test_suites_cover_all_layers(self):
         assert set(suites()) == {
             "m2td", "kernels", "distributed", "storage", "serving",
+            "campaigns",
         }
 
     def test_get_workloads_filters_and_sorts(self):

@@ -1,0 +1,41 @@
+"""Campaign-suite fixtures: one tiny epidemic spec, one shared study.
+
+The epidemic study at resolution 6 is the campaign workhorse (the
+golden regression pins it at seed 7); building it once per session
+keeps the whole suite cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import CampaignSpec
+from repro.core import EnsembleStudy
+from repro.simulation import make_system
+
+#: Small enough for quick rounds, big enough for several of them.
+SPEC_FIELDS = dict(
+    scenario="epidemic_seir",
+    budget=200,
+    batch=24,
+    success_delta=1e-9,
+    seed=7,
+    resolution=6,
+    max_rounds=4,
+)
+
+
+@pytest.fixture(scope="session")
+def epidemic_study() -> EnsembleStudy:
+    return EnsembleStudy.create(make_system("epidemic_seir"), 6)
+
+
+@pytest.fixture()
+def campaign_spec() -> CampaignSpec:
+    return CampaignSpec(**SPEC_FIELDS)
+
+
+def spec_with(**overrides) -> CampaignSpec:
+    fields = dict(SPEC_FIELDS)
+    fields.update(overrides)
+    return CampaignSpec(**fields)

@@ -1,0 +1,128 @@
+"""Golden convergence regression for adaptive campaigns.
+
+The pinned run: epidemic-SEIR study at resolution 6, campaign seed 7,
+budget 380 cells, batch 24, twelve confirm rounds, evaluation-only
+ground-truth RMSE recorded per round.  The pins prove the point of the
+campaign layer — **error-guided allocation reaches a fixed RMSE target
+in fewer simulated cells than uniform allocation** — and freeze the
+trajectory so an accidental change to the allocator, the probe-pivot
+policy, or the stopping rule shows up as a diff against named
+constants, not a silent quality drift.
+
+Computed once from a verified run; the campaign is deterministic given
+the seed, so anything beyond float noise means an algorithmic change —
+which should be deliberate and update these constants in the same
+commit.
+"""
+
+import pytest
+
+from repro.campaigns import CampaignOrchestrator, CampaignSpec
+
+SEED = 7
+BUDGET = 380
+
+#: The fixed quality bar both strategies chase.
+RMSE_TARGET = 0.32
+
+#: Simulated cells at which each strategy first reaches the target.
+GOLDEN_CELLS_TO_TARGET = {"adaptive": 298, "uniform": 351}
+
+#: Ground-truth RMSE after the full budget.
+GOLDEN_FINAL_RMSE = {
+    "adaptive": 0.21644738796467478,
+    "uniform": 0.3117041735327742,
+}
+
+#: RMSE of the shared explore round (identical for both strategies —
+#: allocation only kicks in at the confirm rounds).
+GOLDEN_EXPLORE_RMSE = 0.49744978036874793
+
+RMSE_TOL = 1e-6
+
+
+def campaign_spec(allocation):
+    return CampaignSpec(
+        scenario="epidemic_seir",
+        budget=BUDGET,
+        batch=24,
+        success_delta=1e-9,
+        seed=SEED,
+        resolution=6,
+        allocation=allocation,
+        max_rounds=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def outcomes(epidemic_study):
+    results = {}
+    for allocation in ("adaptive", "uniform"):
+        with CampaignOrchestrator(
+            campaign_spec(allocation),
+            study=epidemic_study,
+            truth_metrics=True,
+        ) as orchestrator:
+            results[allocation] = orchestrator.run()
+    return results
+
+
+def cells_to_target(outcome):
+    for record in outcome.rounds:
+        if record.truth_rmse <= RMSE_TARGET:
+            return record.spent_after
+    return None
+
+
+class TestAdaptiveBeatsUniform:
+    def test_reaches_target_in_fewer_cells(self, outcomes):
+        """The headline claim of the campaign layer."""
+        adaptive = cells_to_target(outcomes["adaptive"])
+        uniform = cells_to_target(outcomes["uniform"])
+        assert adaptive is not None
+        assert uniform is not None
+        assert adaptive < uniform
+
+    def test_cells_to_target_pinned(self, outcomes):
+        for allocation, expected in GOLDEN_CELLS_TO_TARGET.items():
+            assert cells_to_target(outcomes[allocation]) == expected
+
+    def test_final_rmse_pinned(self, outcomes):
+        for allocation, expected in GOLDEN_FINAL_RMSE.items():
+            final = outcomes[allocation].rounds[-1].truth_rmse
+            assert final == pytest.approx(expected, abs=RMSE_TOL)
+
+    def test_adaptive_final_model_is_better(self, outcomes):
+        assert (
+            outcomes["adaptive"].rounds[-1].truth_rmse
+            < outcomes["uniform"].rounds[-1].truth_rmse
+        )
+
+
+class TestTrajectoryShape:
+    def test_both_spend_the_whole_budget(self, outcomes):
+        for outcome in outcomes.values():
+            assert outcome.stop_reason == "budget-exhausted"
+            assert outcome.cells_simulated == BUDGET
+            assert outcome.budget_remaining == 0
+
+    def test_explore_round_is_shared(self, outcomes):
+        """Round 0 precedes any allocation decision, so both
+        strategies start from the identical model."""
+        for outcome in outcomes.values():
+            first = outcome.rounds[0]
+            assert first.phase == "explore"
+            assert first.spent_after == 36
+            assert first.truth_rmse == pytest.approx(
+                GOLDEN_EXPLORE_RMSE, abs=RMSE_TOL
+            )
+
+    def test_rmse_improves_monotonically_enough(self, outcomes):
+        """Coarse shape guard: the trajectory must never regress by
+        more than float jitter between consecutive rounds for the
+        adaptive strategy."""
+        values = [
+            r.truth_rmse for r in outcomes["adaptive"].rounds
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-3

@@ -1,0 +1,264 @@
+"""End-to-end campaign runs: phased rounds, stopping rules, budget
+safety, observability, and the run/resume state contract."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    CampaignOrchestrator,
+    CampaignSpec,
+    read_journal,
+)
+from repro.campaigns.cli import main as campaigns_main
+from repro.exceptions import CampaignSpecError, CampaignStateError
+from repro.observability import Tracer, use_tracer
+from repro.observability.metrics import MetricsRegistry, use_metrics
+
+from .conftest import spec_with
+
+
+def run_campaign(spec, epidemic_study, workdir=None, **kwargs):
+    with CampaignOrchestrator(
+        spec, workdir=workdir, study=epidemic_study, **kwargs
+    ) as orchestrator:
+        return orchestrator.run()
+
+
+class TestEndToEnd:
+    def test_success_delta_stops_within_budget(self, epidemic_study):
+        """The headline contract: a generous success delta stops the
+        campaign via the convergence rule with budget left over."""
+        spec = spec_with(
+            budget=432, success_delta=0.5, max_rounds=12
+        )
+        outcome = run_campaign(spec, epidemic_study)
+        assert outcome.stop_reason == "converged"
+        assert outcome.cells_simulated <= spec.budget
+        assert outcome.budget_remaining > 0
+        confirm = [r for r in outcome.rounds if r.phase == "confirm"]
+        assert len(confirm) >= 2
+        movement = abs(confirm[-2].metric - confirm[-1].metric)
+        assert movement < spec.success_delta
+
+    def test_phases_and_budget_accounting(self, epidemic_study):
+        outcome = run_campaign(spec_with(), epidemic_study)
+        assert outcome.rounds[0].phase == "explore"
+        assert all(
+            r.phase == "confirm" for r in outcome.rounds[1:]
+        )
+        spent = [r.spent_after for r in outcome.rounds]
+        assert spent == sorted(spent)
+        assert outcome.cells_simulated == spent[-1]
+        assert outcome.cells_simulated <= outcome.spec.budget
+        # per-round accounting is internally consistent
+        previous = 0
+        for r in outcome.rounds:
+            assert r.spent_after - previous == r.probe_cost + r.alloc_cells
+            new = sum(len(c) for c in r.new_cells.values())
+            assert new == r.probe_cost + r.alloc_cells
+            previous = r.spent_after
+
+    def test_max_rounds_stop(self, epidemic_study):
+        outcome = run_campaign(
+            spec_with(max_rounds=2, budget=432), epidemic_study
+        )
+        assert outcome.stop_reason == "max-rounds"
+        confirm = [r for r in outcome.rounds if r.phase == "confirm"]
+        assert len(confirm) == 2
+
+    def test_budget_exhausted_stop(self, epidemic_study):
+        outcome = run_campaign(
+            spec_with(budget=80, batch=40, max_rounds=12),
+            epidemic_study,
+        )
+        assert outcome.stop_reason == "budget-exhausted"
+        assert outcome.budget_remaining == 0
+        assert outcome.cells_simulated == 80
+
+    def test_space_exhausted_stop(self, epidemic_study):
+        """A budget larger than the whole sub-space ends only when
+        every cell is covered."""
+        outcome = run_campaign(
+            spec_with(
+                budget=432 * 2, batch=100, max_rounds=50,
+                explore_fraction=1.0, explore_replicates=6,
+            ),
+            epidemic_study,
+        )
+        assert outcome.stop_reason == "space-exhausted"
+        assert outcome.cells_simulated <= 432
+
+    def test_uniform_allocation_runs(self, epidemic_study):
+        outcome = run_campaign(
+            spec_with(allocation="uniform"), epidemic_study
+        )
+        assert outcome.stop_reason in (
+            "converged", "budget-exhausted", "max-rounds"
+        )
+
+    def test_deterministic_across_runs(self, epidemic_study):
+        first = run_campaign(spec_with(), epidemic_study)
+        second = run_campaign(spec_with(), epidemic_study)
+        assert first.payload() == second.payload()
+        assert [r.body() for r in first.rounds] == [
+            r.body() for r in second.rounds
+        ]
+
+    def test_seed_changes_the_campaign(self, epidemic_study):
+        first = run_campaign(spec_with(), epidemic_study)
+        other = run_campaign(spec_with(seed=8), epidemic_study)
+        assert first.payload() != other.payload()
+
+    def test_infeasible_explore_budget(self, epidemic_study):
+        with pytest.raises(CampaignSpecError) as excinfo:
+            CampaignOrchestrator(
+                spec_with(
+                    budget=24, batch=24, explore_fraction=1.0,
+                    explore_replicates=6,
+                ),
+                study=epidemic_study,
+            )
+        assert excinfo.value.field == "budget"
+
+
+class TestObservability:
+    def test_campaign_meters(self, epidemic_study):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            outcome = run_campaign(spec_with(), epidemic_study)
+        snapshot = registry.snapshot()
+        assert snapshot["campaign.rounds"]["value"] == len(
+            outcome.rounds
+        )
+        assert snapshot["campaign.cells_simulated"]["value"] == (
+            outcome.cells_simulated
+        )
+        assert snapshot["campaign.budget_remaining"]["value"] == (
+            outcome.budget_remaining
+        )
+
+    def test_campaign_spans(self, epidemic_study):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            outcome = run_campaign(spec_with(), epidemic_study)
+        campaign_spans = [
+            s for s in tracer.iter_spans() if s.category == "campaign"
+        ]
+        names = {s.name for s in campaign_spans}
+        assert f"campaign:{outcome.spec.name}" in names
+        assert "round-0" in names
+        # one span per round, nested under the campaign root
+        rounds = [s for s in campaign_spans if s.name.startswith("round-")]
+        assert len(rounds) == len(outcome.rounds)
+
+
+class TestStateContract:
+    def test_run_refuses_existing_progress(
+        self, campaign_spec, epidemic_study, tmp_path
+    ):
+        workdir = str(tmp_path / "campaign")
+        run_campaign(campaign_spec, epidemic_study, workdir=workdir)
+        with pytest.raises(CampaignStateError):
+            run_campaign(campaign_spec, epidemic_study, workdir=workdir)
+
+    def test_resume_rejects_foreign_journal(
+        self, campaign_spec, epidemic_study, tmp_path
+    ):
+        workdir = str(tmp_path / "campaign")
+        run_campaign(campaign_spec, epidemic_study, workdir=workdir)
+        other = spec_with(seed=9)
+        with CampaignOrchestrator(
+            other, workdir=workdir, study=epidemic_study
+        ) as orchestrator:
+            with pytest.raises(CampaignStateError):
+                orchestrator.resume()
+
+    def test_resume_on_empty_workdir_is_a_fresh_run(
+        self, campaign_spec, epidemic_study, tmp_path
+    ):
+        workdir = str(tmp_path / "campaign")
+        with CampaignOrchestrator(
+            campaign_spec, workdir=workdir, study=epidemic_study
+        ) as orchestrator:
+            outcome = orchestrator.resume()
+        assert outcome.replayed_rounds == 0
+        assert outcome.stop_reason is not None
+
+    def test_journal_readable_without_running(
+        self, campaign_spec, epidemic_study, tmp_path
+    ):
+        workdir = str(tmp_path / "campaign")
+        outcome = run_campaign(
+            campaign_spec, epidemic_study, workdir=workdir
+        )
+        state, _ = read_journal(workdir)
+        assert state.stop_reason == outcome.stop_reason
+        assert state.spent == outcome.cells_simulated
+        assert len(state.rounds) == len(outcome.rounds)
+        assert state.fingerprint == campaign_spec.fingerprint()
+
+
+class TestTruthMetrics:
+    def test_truth_rmse_recorded_and_improving(self, epidemic_study):
+        outcome = run_campaign(
+            spec_with(), epidemic_study, truth_metrics=True
+        )
+        values = [r.truth_rmse for r in outcome.rounds]
+        assert all(v is not None and np.isfinite(v) for v in values)
+        assert values[-1] < values[0]
+
+    def test_truth_rmse_off_by_default(self, epidemic_study):
+        outcome = run_campaign(spec_with(), epidemic_study)
+        assert all(r.truth_rmse is None for r in outcome.rounds)
+
+
+class TestCli:
+    def write_spec(self, tmp_path):
+        import json
+
+        from .conftest import SPEC_FIELDS
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(SPEC_FIELDS))
+        return str(path)
+
+    def test_run_report_resume(self, tmp_path, capsys):
+        spec_path = self.write_spec(tmp_path)
+        workdir = str(tmp_path / "wd")
+        assert campaigns_main(
+            ["run", "--spec", spec_path, "--workdir", workdir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "epidemic_seir-campaign" in out
+        assert campaigns_main(["report", "--workdir", workdir]) == 0
+        assert "explore" in capsys.readouterr().out
+        # run again refuses; resume replays
+        assert campaigns_main(
+            ["run", "--spec", spec_path, "--workdir", workdir]
+        ) == 1
+        assert "use resume" in capsys.readouterr().err
+        assert campaigns_main(
+            ["resume", "--spec", spec_path, "--workdir", workdir]
+        ) == 0
+
+    def test_report_json(self, tmp_path, capsys):
+        import json
+
+        spec_path = self.write_spec(tmp_path)
+        workdir = str(tmp_path / "wd")
+        campaigns_main(
+            ["run", "--spec", spec_path, "--workdir", workdir]
+        )
+        capsys.readouterr()
+        assert campaigns_main(
+            ["report", "--workdir", workdir, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stop_reason"] is not None
+        assert payload["rounds"]
+
+    def test_bad_spec_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"scenario": "epidemic_seir"}')
+        assert campaigns_main(["run", "--spec", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

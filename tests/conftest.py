@@ -6,6 +6,8 @@ the studies are session-scoped; each test treats them as read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -92,3 +94,28 @@ def assert_identical_across_workers():
         return baseline
 
     return check
+
+
+# ----------------------------------------------------------------------
+# Chaos harness, shared by tests/faults and tests/campaigns: one seed
+# knob for the whole suite, one fault-free baseline payload.
+# ----------------------------------------------------------------------
+
+#: One knob for every chaos suite (CI matrix: 0, 1, 2).  Any CI chaos
+#: failure replays locally by exporting the same M2TD_CHAOS_SEED.
+CHAOS_SEED = int(os.environ.get("M2TD_CHAOS_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return CHAOS_SEED
+
+
+@pytest.fixture(scope="session")
+def fault_free_payload(dm2td_inputs, dm2td_payload_fn):
+    """The ground truth every chaos run must reproduce byte-for-byte:
+    one fault-free D-M2TD run on the canonical inputs."""
+    from repro.distributed import distributed_m2td
+
+    x1, x2, part, ranks = dm2td_inputs
+    return dm2td_payload_fn(distributed_m2td(x1, x2, part, ranks))

@@ -48,6 +48,7 @@ class TestRegistry:
             "fig-budget",
             "ext-adaptive",
             "ext-baselines",
+            "ext-campaign",
             "ext-completion",
             "ext-multiway",
             "ext-noise",
